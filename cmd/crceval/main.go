@@ -1,0 +1,109 @@
+// Command crceval evaluates the error-detection performance of one CRC
+// generator polynomial: its Hamming-distance bands up to a maximum length
+// (one Table 1 column of the DSN 2002 paper) and, optionally, exact
+// undetectable-error weights at chosen lengths.
+//
+// Usage:
+//
+//	crceval -poly 0xBA0DC66B [-width 32] [-notation koopman] [-max 131072] [-maxhd 13] [-weights 400,12112]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"koopmancrc"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "crceval:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("crceval", flag.ContinueOnError)
+	polyStr := fs.String("poly", "", "polynomial in hex (required)")
+	width := fs.Int("width", 32, "CRC width in bits")
+	notation := fs.String("notation", "koopman", "polynomial notation: koopman|normal|reversed|full")
+	maxLen := fs.Int("max", 131072, "maximum data-word length in bits")
+	maxHD := fs.Int("maxhd", 13, "largest Hamming distance to classify")
+	weights := fs.String("weights", "", "comma-separated lengths for exact W2..W4 computation")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *polyStr == "" {
+		fs.Usage()
+		return fmt.Errorf("-poly is required")
+	}
+	n, err := parseNotation(*notation)
+	if err != nil {
+		return err
+	}
+	p, err := koopmancrc.ParsePolynomial(*width, n, *polyStr)
+	if err != nil {
+		return err
+	}
+
+	rep, err := koopmancrc.Evaluate(p, *maxLen, &koopmancrc.EvaluateOptions{MaxHD: *maxHD})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("polynomial      %s (koopman) = %#x (normal) = %#x (reversed)\n",
+		p, p.In(koopmancrc.Normal), p.In(koopmancrc.Reversed))
+	fmt.Printf("algebraic       %s\n", p.AlgebraicString())
+	fmt.Printf("factorization   %s\n", rep.Shape)
+	fmt.Printf("period (ord x)  %d\n", rep.Period)
+	fmt.Printf("parity ((x+1)|G) %v\n", rep.ParityBit)
+	fmt.Printf("\nHD bands to %d data bits:\n", rep.MaxLen)
+	for _, b := range rep.Bands {
+		ge := " "
+		if b.AtLeast {
+			ge = ">="
+		}
+		fmt.Printf("  HD %s%2d : %6d - %6d bits\n", ge, b.HD, b.From, b.To)
+	}
+	fmt.Println("\nweight boundaries (first length with W_w > 0):")
+	for _, tr := range rep.Transitions {
+		fmt.Printf("  w=%2d at %6d bits  witness %v  (%v)\n", tr.W, tr.FirstLen, tr.Witness, tr.Elapsed.Round(1000))
+	}
+
+	if *weights != "" {
+		fmt.Println("\nexact weights:")
+		for _, part := range strings.Split(*weights, ",") {
+			l, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil {
+				return fmt.Errorf("bad -weights entry %q: %w", part, err)
+			}
+			fmt.Printf("  length %d:", l)
+			for w := 2; w <= 4; w++ {
+				v, err := koopmancrc.UndetectableWeight(p, w, l)
+				if err != nil {
+					return err
+				}
+				fmt.Printf(" W%d=%d", w, v)
+			}
+			fmt.Println()
+		}
+	}
+	return nil
+}
+
+func parseNotation(s string) (koopmancrc.Notation, error) {
+	switch strings.ToLower(s) {
+	case "koopman":
+		return koopmancrc.Koopman, nil
+	case "normal":
+		return koopmancrc.Normal, nil
+	case "reversed":
+		return koopmancrc.Reversed, nil
+	case "full":
+		return koopmancrc.Full, nil
+	default:
+		return 0, fmt.Errorf("unknown notation %q", s)
+	}
+}

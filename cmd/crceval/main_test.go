@@ -1,0 +1,36 @@
+package main
+
+import "testing"
+
+func TestRunSmallEvaluation(t *testing.T) {
+	err := run([]string{"-poly", "0x8810", "-width", "16", "-max", "256", "-maxhd", "8", "-weights", "32,64"})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunNotations(t *testing.T) {
+	for _, n := range []string{"koopman", "normal", "reversed", "full"} {
+		v := map[string]string{
+			"koopman": "0x83", "normal": "0x07", "reversed": "0xE0", "full": "0x107",
+		}[n]
+		if err := run([]string{"-poly", v, "-width", "8", "-notation", n, "-max", "64", "-maxhd", "6"}); err != nil {
+			t.Errorf("notation %s: %v", n, err)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{"-max", "64"}); err == nil {
+		t.Error("missing -poly should error")
+	}
+	if err := run([]string{"-poly", "0x83", "-width", "8", "-notation", "bogus"}); err == nil {
+		t.Error("bad notation should error")
+	}
+	if err := run([]string{"-poly", "zz", "-width", "8", "-max", "64"}); err == nil {
+		t.Error("bad hex should error")
+	}
+	if err := run([]string{"-poly", "0x83", "-width", "8", "-max", "64", "-weights", "x"}); err == nil {
+		t.Error("bad weights list should error")
+	}
+}

@@ -1,0 +1,148 @@
+// Command crcsearch runs the polynomial design-space search, locally or
+// distributed across machines as in the paper's §4.2 workstation fleet.
+//
+//	crcsearch -mode local -width 16 -hd 6 -lengths 16,64,128
+//	crcsearch -mode coord -listen :9000 -width 16 -hd 6 -lengths 16,64,128 -jobsize 1024
+//	crcsearch -mode worker -connect host:9000 -id alpha
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"koopmancrc"
+	"koopmancrc/internal/dist"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "crcsearch:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("crcsearch", flag.ContinueOnError)
+	mode := fs.String("mode", "local", "local|coord|worker")
+	width := fs.Int("width", 16, "CRC width in bits")
+	minHD := fs.Int("hd", 6, "minimum Hamming distance to demand")
+	lengths := fs.String("lengths", "16,64,128", "increasing-length filter schedule (bits)")
+	startIdx := fs.Uint64("start", 0, "first raw index (local mode)")
+	endIdx := fs.Uint64("end", 0, "end raw index, 0 = whole space (local mode)")
+	listen := fs.String("listen", "127.0.0.1:9000", "coordinator listen address")
+	connect := fs.String("connect", "127.0.0.1:9000", "coordinator address (worker mode)")
+	id := fs.String("id", "worker", "worker id")
+	jobSize := fs.Uint64("jobsize", 4096, "raw indices per job (coord mode)")
+	lease := fs.Duration("lease", 30*time.Second, "job lease timeout (coord mode)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	sched, err := parseLengths(*lengths)
+	if err != nil {
+		return err
+	}
+	switch *mode {
+	case "local":
+		return runLocal(*width, *minHD, sched, *startIdx, *endIdx)
+	case "coord":
+		return runCoord(*listen, *width, *minHD, sched, *jobSize, *lease)
+	case "worker":
+		return runWorker(*connect, *id)
+	default:
+		return fmt.Errorf("unknown mode %q", *mode)
+	}
+}
+
+func parseLengths(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("bad length %q", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func runLocal(width, minHD int, lengths []int, start, end uint64) error {
+	res, err := koopmancrc.Search(context.Background(), koopmancrc.SearchConfig{
+		Width: width, MinHD: minHD, Lengths: lengths, StartIdx: start, EndIdx: end,
+	})
+	if err != nil {
+		return err
+	}
+	printSummary(res.Candidates, res.PolysPerSecond, res.Survivors, res.CensusByShape)
+	return nil
+}
+
+func runCoord(listen string, width, minHD int, lengths []int, jobSize uint64, lease time.Duration) error {
+	c, err := dist.NewCoordinator(listen, dist.CoordinatorConfig{
+		Spec:         dist.SearchSpec{Width: width, MinHD: minHD, Lengths: lengths},
+		JobSize:      jobSize,
+		LeaseTimeout: lease,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	})
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	fmt.Fprintf(os.Stderr, "coordinator listening on %s\n", c.Addr())
+	sum, err := c.Wait(context.Background())
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "jobs=%d requeues=%d\n", sum.Jobs, sum.Requeues)
+	census := map[string]int{}
+	for _, p := range sum.Survivors {
+		s, err := p.Shape()
+		if err != nil {
+			return err
+		}
+		census[s]++
+	}
+	printSummary(sum.Canonical, float64(sum.Canonical)/sum.Elapsed.Seconds(), sum.Survivors, census)
+	return nil
+}
+
+func runWorker(connect, id string) error {
+	w := dist.NewWorker(connect, dist.WorkerConfig{
+		ID: id,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	})
+	n, err := w.Run(context.Background())
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "worker %s completed %d jobs\n", id, n)
+	return nil
+}
+
+func printSummary(candidates uint64, rate float64, survivors []koopmancrc.Polynomial, census map[string]int) {
+	fmt.Printf("candidates: %d (%.0f polys/s)\nsurvivors:  %d\n", candidates, rate, len(survivors))
+	shapes := make([]string, 0, len(census))
+	for s := range census {
+		shapes = append(shapes, s)
+	}
+	sort.Strings(shapes)
+	for _, s := range shapes {
+		fmt.Printf("  %-22s %6d\n", s, census[s])
+	}
+	for i, p := range survivors {
+		if i == 40 {
+			fmt.Printf("  ... %d more\n", len(survivors)-40)
+			break
+		}
+		fmt.Printf("  %v\n", p)
+	}
+}

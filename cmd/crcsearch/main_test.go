@@ -1,0 +1,31 @@
+package main
+
+import "testing"
+
+func TestParseLengths(t *testing.T) {
+	got, err := parseLengths(" 16, 64,128 ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 16 || got[2] != 128 {
+		t.Errorf("parseLengths = %v", got)
+	}
+	if _, err := parseLengths("16,x"); err == nil {
+		t.Error("bad entry should error")
+	}
+	if _, err := parseLengths("0"); err == nil {
+		t.Error("non-positive length should error")
+	}
+}
+
+func TestRunLocalSmall(t *testing.T) {
+	if err := run([]string{"-mode", "local", "-width", "8", "-hd", "4", "-lengths", "9,19"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownMode(t *testing.T) {
+	if err := run([]string{"-mode", "bogus"}); err == nil {
+		t.Error("unknown mode should error")
+	}
+}

@@ -1,0 +1,29 @@
+package main
+
+import "testing"
+
+func TestTable2SmallWidth(t *testing.T) {
+	if err := run([]string{"-artifact", "table2", "-censuswidth", "10", "-censuslen", "40"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTable1Reduced(t *testing.T) {
+	// A reduced-length Table 1 (no paper comparison is printed below the
+	// full range, but every column must still profile cleanly).
+	if err := run([]string{"-artifact", "table1", "-maxlen", "512"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFigure1Reduced(t *testing.T) {
+	if err := run([]string{"-artifact", "figure1", "-maxlen", "512"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnknownArtifact(t *testing.T) {
+	if err := run([]string{"-artifact", "bogus"}); err == nil {
+		t.Error("unknown artifact should error")
+	}
+}

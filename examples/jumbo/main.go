@@ -1,0 +1,50 @@
+// Gigabit Ethernet jumbo frames (paper §4.4): 9000-byte payloads form a
+// 72,112-bit data word, far beyond the standard MTU. This example shows
+// what each polynomial still guarantees at that length and why the paper
+// suggests 0xBA0DC66B for beyond-1-Gb/s Ethernet generations.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"koopmancrc"
+)
+
+const jumboDataBits = 72112 // 9000-byte jumbo payload + headers
+
+func main() {
+	polys := []koopmancrc.Polynomial{
+		koopmancrc.IEEE8023,        // legacy Ethernet CRC
+		koopmancrc.CastagnoliISCSI, // CRC-32C
+		koopmancrc.Koopman32K,      // the paper's proposal
+		koopmancrc.Castagnoli1131515,
+	}
+	fmt.Printf("error detection at jumbo length (%d data bits):\n", jumboDataBits)
+	for _, p := range polys {
+		// MaxHD 4 keeps the profile cheap: the jumbo question is only whether
+		// HD=4 still holds at 72,112 bits.
+		rep, err := koopmancrc.Evaluate(p, jumboDataBits, &koopmancrc.EvaluateOptions{MaxHD: 4})
+		if err != nil {
+			log.Fatal(err)
+		}
+		hd, atLeast, ok := rep.HDAt(jumboDataBits)
+		if !ok {
+			log.Fatalf("%v: no band at jumbo length", p)
+		}
+		ge := ""
+		if atLeast {
+			ge = ">="
+		}
+		fmt.Printf("  %v: HD%s%d at jumbo length", p, ge, hd)
+		if l, ok := rep.MaxLenAtHD(4); ok {
+			fmt.Printf(" (HD>=4 through %d bits)", l)
+		} else {
+			fmt.Printf(" (HD>=4 lost before jumbo length)")
+		}
+		fmt.Println()
+	}
+	fmt.Println("\npaper §4.4: 0xBA0DC66B keeps HD=4 to 114,663 bits — more than 9x an")
+	fmt.Println("Ethernet MTU and comfortably past the 72,112-bit jumbo data word, while")
+	fmt.Println("0xFA567D89 has already fallen to HD=2 there.")
+}

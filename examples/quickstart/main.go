@@ -1,0 +1,59 @@
+// Quickstart: compute checksums, inspect a polynomial, and read its
+// error-detection profile.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"koopmancrc"
+)
+
+func main() {
+	// 1. Checksums under catalogued algorithms (validated against
+	//    hash/crc32 in the test suite).
+	data := []byte("hello, dependable networks")
+	for _, alg := range []string{"CRC-32/IEEE-802.3", "CRC-32C/iSCSI", "CRC-32K/Koopman"} {
+		sum, err := koopmancrc.Checksum(alg, data)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-20s %08X\n", alg, sum)
+	}
+
+	// 2. Inspect the paper's headline polynomial 0xBA0DC66B.
+	p := koopmancrc.Koopman32K
+	fmt.Printf("\npolynomial %v\n  normal form  %#x\n  algebraic    %s\n",
+		p, p.In(koopmancrc.Normal), p.AlgebraicString())
+	shape, err := p.Shape()
+	if err != nil {
+		log.Fatal(err)
+	}
+	period, err := p.Period()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  factorization %s, period %d, parity bit %v\n", shape, period, p.DivisibleByXPlus1())
+
+	// 3. How many bit errors does it guarantee to catch at each length?
+	rep, err := koopmancrc.Evaluate(p, 4096, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nguaranteed error detection (HD-1 bit errors always caught):")
+	for _, b := range rep.Bands {
+		ge := ""
+		if b.AtLeast {
+			ge = ">="
+		}
+		fmt.Printf("  data words %5d-%5d bits: HD %s%d\n", b.From, b.To, ge, b.HD)
+	}
+
+	// 4. Frame a payload and verify it survives the trip.
+	frame, err := koopmancrc.AppendFCS(p, data)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nframed %d payload bytes into %d-byte codeword, verify: %v\n",
+		len(data), len(frame), koopmancrc.VerifyFCS(p, frame))
+}

@@ -1,0 +1,267 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"koopmancrc/internal/hamming"
+	"koopmancrc/internal/poly"
+)
+
+func TestSpaceCountsMatchPaper(t *testing.T) {
+	// §1: "The entire set of 1,073,774,592 distinct polynomials has been
+	// evaluated" — 2^30 pairs plus 2^15 palindromes.
+	s, err := NewSpace(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.TotalPolynomials(); got != 1<<31 {
+		t.Errorf("TotalPolynomials = %d", got)
+	}
+	if got := s.Palindromes(); got != 1<<16 {
+		t.Errorf("Palindromes = %d, want 65536", got)
+	}
+	if got := s.CanonicalCount(); got != 1073774592 {
+		t.Errorf("CanonicalCount = %d, want 1073774592 (the paper's count)", got)
+	}
+}
+
+func TestSpaceEnumerationCoversEveryPolynomialOnce(t *testing.T) {
+	// For width 8: every one of the 128 generators must be reachable as
+	// either a canonical candidate or the reciprocal of one, exactly once.
+	s, err := NewSpace(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[uint64]int)
+	visited, err := s.Enumerate(0, s.TotalPolynomials(), func(p poly.P) bool {
+		seen[p.Koopman()]++
+		r := p.Reciprocal()
+		if r != p {
+			seen[r.Koopman()]++
+		}
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if visited != s.CanonicalCount() {
+		t.Errorf("visited %d canonical, want %d", visited, s.CanonicalCount())
+	}
+	if uint64(len(seen)) != s.TotalPolynomials() {
+		t.Errorf("covered %d polynomials, want %d", len(seen), s.TotalPolynomials())
+	}
+	for k, c := range seen {
+		if c != 1 {
+			t.Errorf("polynomial %#x covered %d times", k, c)
+		}
+	}
+}
+
+func TestSpaceEnumerationRangesCompose(t *testing.T) {
+	s, _ := NewSpace(8)
+	var whole []uint64
+	if _, err := s.Enumerate(0, 128, func(p poly.P) bool {
+		whole = append(whole, p.Koopman())
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var parts []uint64
+	for _, r := range [][2]uint64{{0, 17}, {17, 64}, {64, 101}, {101, 128}} {
+		if _, err := s.Enumerate(r[0], r[1], func(p poly.P) bool {
+			parts = append(parts, p.Koopman())
+			return true
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(whole) != len(parts) {
+		t.Fatalf("whole %d != parts %d", len(whole), len(parts))
+	}
+	for i := range whole {
+		if whole[i] != parts[i] {
+			t.Fatalf("mismatch at %d: %#x vs %#x", i, whole[i], parts[i])
+		}
+	}
+}
+
+func TestSpaceValidation(t *testing.T) {
+	if _, err := NewSpace(1); err == nil {
+		t.Error("width 1 should be rejected")
+	}
+	if _, err := NewSpace(33); err == nil {
+		t.Error("width 33 should be rejected")
+	}
+}
+
+func TestSmallWidthCanonicalCountByHand(t *testing.T) {
+	// Width 3: polynomials 1001,1011,1101,1111 (full form); 1011 and 1101
+	// are reciprocal, 1001 and 1111 palindromic: 3 canonical candidates.
+	s, _ := NewSpace(3)
+	if got := s.CanonicalCount(); got != 3 {
+		t.Errorf("CanonicalCount(3) = %d, want 3", got)
+	}
+	count, err := s.Enumerate(0, 4, func(poly.P) bool { return true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 3 {
+		t.Errorf("enumerated %d, want 3", count)
+	}
+}
+
+func TestPipelineEnginesAgree(t *testing.T) {
+	// The fast and paper-faithful engines must select identical survivor
+	// sets — the paper's "comparing answers obtained with simple code to
+	// optimized code" validation (§4.5).
+	s, _ := NewSpace(8)
+	run := func(kind EngineKind) []poly.P {
+		pl := &Pipeline{
+			Space:   s,
+			Filters: []Filter{HDFilter{Lengths: []int{8, 19}, MinHD: 4, Engine: kind}},
+		}
+		res, err := pl.Run(context.Background(), 0, s.TotalPolynomials())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Survivors
+	}
+	fast := run(EngineFast)
+	bruteLex := run(EngineBruteLex)
+	bruteFCS := run(EngineBruteFCSFirst)
+	if len(fast) == 0 {
+		t.Fatal("expected some width-8 polynomials with HD>=4 at 19 bits")
+	}
+	for i, kind := range [][]poly.P{bruteLex, bruteFCS} {
+		if len(kind) != len(fast) {
+			t.Fatalf("engine %d: %d survivors, fast engine %d", i, len(kind), len(fast))
+		}
+		for j := range kind {
+			if kind[j] != fast[j] {
+				t.Fatalf("engine %d: survivor %d is %v, fast engine has %v", i, j, kind[j], fast[j])
+			}
+		}
+	}
+}
+
+func TestPipelineStageStats(t *testing.T) {
+	s, _ := NewSpace(8)
+	pl := &Pipeline{
+		Space: s,
+		Filters: []Filter{
+			ParityFilter{RequireDivisible: true},
+			HDFilter{Lengths: []int{16}, MinHD: 4, Engine: EngineFast},
+		},
+	}
+	res, err := pl.Run(context.Background(), 0, s.TotalPolynomials())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Canonical != s.CanonicalCount() {
+		t.Errorf("Canonical = %d, want %d", res.Canonical, s.CanonicalCount())
+	}
+	if len(res.Stages) != 2 {
+		t.Fatalf("stages = %d", len(res.Stages))
+	}
+	if res.Stages[0].In != res.Canonical {
+		t.Errorf("stage 0 In = %d, want %d", res.Stages[0].In, res.Canonical)
+	}
+	if res.Stages[1].In != res.Stages[0].Out {
+		t.Errorf("stage chaining broken: %d -> %d", res.Stages[0].Out, res.Stages[1].In)
+	}
+	if uint64(len(res.Survivors)) != res.Stages[1].Out {
+		t.Errorf("survivors %d != last stage out %d", len(res.Survivors), res.Stages[1].Out)
+	}
+	for _, p := range res.Survivors {
+		if !p.DivisibleByXPlus1() {
+			t.Errorf("survivor %v not divisible by x+1", p)
+		}
+	}
+	if res.Rate() <= 0 {
+		t.Error("rate should be positive")
+	}
+}
+
+func TestPipelineContextCancellation(t *testing.T) {
+	s, _ := NewSpace(16)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	pl := &Pipeline{Space: s, Filters: []Filter{HDFilter{Lengths: []int{64}, MinHD: 4, Engine: EngineFast}}}
+	if _, err := pl.Run(ctx, 0, s.TotalPolynomials()); err == nil {
+		t.Fatal("cancelled run should return an error")
+	}
+}
+
+func TestShapeFilter(t *testing.T) {
+	ev := hamming.New(poly.Koopman32K)
+	keep, err := ShapeFilter{Shape: "{1,3,28}"}.Keep(ev)
+	if err != nil || !keep {
+		t.Errorf("Keep = %v, %v; want true", keep, err)
+	}
+	keep, err = ShapeFilter{Shape: "{32}"}.Keep(ev)
+	if err != nil || keep {
+		t.Errorf("Keep = %v, %v; want false", keep, err)
+	}
+}
+
+func TestCensus(t *testing.T) {
+	c, err := Census([]poly.P{poly.IEEE8023, poly.Koopman32K, poly.Koopman1130, poly.KoopmanSparse6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c["{32}"] != 1 || c["{1,3,28}"] != 1 || c["{1,1,30}"] != 2 {
+		t.Errorf("census = %v", c)
+	}
+	if AllDivisibleByXPlus1([]poly.P{poly.Koopman32K, poly.Koopman1130}) != true {
+		t.Error("parity polynomials misclassified")
+	}
+	if AllDivisibleByXPlus1([]poly.P{poly.IEEE8023}) != false {
+		t.Error("802.3 is not divisible by x+1")
+	}
+}
+
+func TestInverseFilterAnchors(t *testing.T) {
+	// §4.1: inverse filtering established maximum lengths; for the 802.3
+	// polynomial HD=5 holds through exactly 2974 bits, and for the iSCSI
+	// polynomial HD=6 through 5243 bits.
+	res, err := InverseFilter([]poly.P{poly.IEEE8023}, 5, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxLen != 2974 {
+		t.Errorf("802.3 max length at HD=5 = %d, want 2974", res.MaxLen)
+	}
+	res, err = InverseFilter([]poly.P{poly.IEEE8023, poly.CastagnoliISCSI}, 6, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxLen != 1024 || res.Best != poly.CastagnoliISCSI {
+		t.Errorf("best at HD=6 = %v len %d, want iSCSI poly at cap 1024", res.Best, res.MaxLen)
+	}
+	if res.PerPoly[poly.IEEE8023.String()] != 268 {
+		t.Errorf("802.3 max at HD=6 = %d, want 268", res.PerPoly[poly.IEEE8023.String()])
+	}
+}
+
+func TestImplicitConfirmHeuristic(t *testing.T) {
+	// CCITT-16 at 32751 bits: the brute-force weight-3 pass needs ~5*10^8
+	// combinations, far beyond the budget, so the timeout heuristic fires
+	// and exact verification agrees (HD>=4 holds).
+	ok, implicit, agreed, err := ImplicitConfirm(poly.CCITT16, 32751, 4, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok || !implicit || !agreed {
+		t.Errorf("ImplicitConfirm(32751) = ok=%v implicit=%v agreed=%v", ok, implicit, agreed)
+	}
+	// At 32752 the weight-2 failure {0, 32767} is found within budget:
+	// quick rejection, no heuristic needed.
+	ok, implicit, _, err = ImplicitConfirm(poly.CCITT16, 32752, 4, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok || implicit {
+		t.Errorf("ImplicitConfirm(32752) = ok=%v implicit=%v, want quick rejection", ok, implicit)
+	}
+}

@@ -1,0 +1,224 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"koopmancrc/internal/gf2"
+	"koopmancrc/internal/hamming"
+	"koopmancrc/internal/poly"
+)
+
+// EngineKind selects which evaluation engine a filter stage uses.
+type EngineKind int
+
+// Engine kinds.
+const (
+	// EngineFast is the syndrome meet-in-the-middle engine.
+	EngineFast EngineKind = iota + 1
+	// EngineBruteLex is the paper's enumeration engine in plain order.
+	EngineBruteLex
+	// EngineBruteFCSFirst adds the paper's FCS-bits-first ordering.
+	EngineBruteFCSFirst
+)
+
+// Filter is one stage of the polynomial filtering pipeline. Stages must be
+// ordered cheapest-first; a candidate is dropped at the first stage that
+// rejects it (the paper's early-bailout principle applied at pipeline
+// granularity).
+type Filter interface {
+	// Name identifies the stage in statistics.
+	Name() string
+	// Keep reports whether the candidate survives this stage.
+	Keep(ev *hamming.Evaluator) (bool, error)
+}
+
+// ParityFilter keeps polynomials by (x+1)-divisibility.
+type ParityFilter struct {
+	// RequireDivisible keeps only (x+1)-divisible generators when true;
+	// only non-divisible ones when false.
+	RequireDivisible bool
+}
+
+// Name implements Filter.
+func (f ParityFilter) Name() string {
+	if f.RequireDivisible {
+		return "parity(x+1)"
+	}
+	return "parity(not x+1)"
+}
+
+// Keep implements Filter.
+func (f ParityFilter) Keep(ev *hamming.Evaluator) (bool, error) {
+	return ev.Poly().DivisibleByXPlus1() == f.RequireDivisible, nil
+}
+
+// ShapeFilter keeps polynomials whose irreducible factorization has the
+// given degree multiset, e.g. "{1,3,28}".
+type ShapeFilter struct {
+	Shape string
+}
+
+// Name implements Filter.
+func (f ShapeFilter) Name() string { return "shape" + f.Shape }
+
+// Keep implements Filter.
+func (f ShapeFilter) Keep(ev *hamming.Evaluator) (bool, error) {
+	s, err := ev.Poly().Shape()
+	if err != nil {
+		return false, err
+	}
+	return s == f.Shape, nil
+}
+
+// HDFilter keeps polynomials achieving at least MinHD at every length in
+// Lengths, evaluated in order — the paper's filtering with increasing
+// lengths. Each length's check bails out at the first undetectable pattern.
+type HDFilter struct {
+	Lengths []int
+	MinHD   int
+	Engine  EngineKind
+}
+
+// Name implements Filter.
+func (f HDFilter) Name() string {
+	return fmt.Sprintf("hd>=%d@%v", f.MinHD, f.Lengths)
+}
+
+// Keep implements Filter.
+func (f HDFilter) Keep(ev *hamming.Evaluator) (bool, error) {
+	switch f.Engine {
+	case EngineBruteLex:
+		for _, l := range f.Lengths {
+			ok, err := ev.MeetsHDBrute(l, f.MinHD, hamming.OrderLex)
+			if err != nil || !ok {
+				return false, err
+			}
+		}
+		return true, nil
+	case EngineBruteFCSFirst:
+		for _, l := range f.Lengths {
+			ok, err := ev.MeetsHDBrute(l, f.MinHD, hamming.OrderFCSFirst)
+			if err != nil || !ok {
+				return false, err
+			}
+		}
+		return true, nil
+	default:
+		return ev.MeetsHDAtLengths(f.Lengths, f.MinHD)
+	}
+}
+
+// StageStats records per-stage pipeline statistics.
+type StageStats struct {
+	Name    string
+	In      uint64
+	Out     uint64
+	Elapsed time.Duration
+}
+
+// Result is the outcome of a pipeline run over a space partition.
+type Result struct {
+	// Survivors are the canonical polynomials passing every stage.
+	Survivors []poly.P
+	// Canonical counts candidates evaluated (after reciprocal dedup).
+	Canonical uint64
+	// Stages holds per-stage statistics in pipeline order.
+	Stages []StageStats
+	// Elapsed is the total wall-clock time of the run.
+	Elapsed time.Duration
+}
+
+// Rate returns candidates filtered per second, the paper's §4.2 throughput
+// metric (~2 polynomials/s/CPU on 2001 hardware).
+func (r Result) Rate() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Canonical) / r.Elapsed.Seconds()
+}
+
+// Pipeline applies filters in order over a polynomial space.
+type Pipeline struct {
+	Space   Space
+	Filters []Filter
+}
+
+// Run evaluates raw indices [startIdx, endIdx) of the space. The context
+// cancels long runs between candidates.
+func (pl *Pipeline) Run(ctx context.Context, startIdx, endIdx uint64) (*Result, error) {
+	res := &Result{Stages: make([]StageStats, len(pl.Filters))}
+	for i, f := range pl.Filters {
+		res.Stages[i].Name = f.Name()
+	}
+	start := time.Now()
+	var runErr error
+	_, err := pl.Space.Enumerate(startIdx, endIdx, func(p poly.P) bool {
+		if err := ctx.Err(); err != nil {
+			runErr = err
+			return false
+		}
+		res.Canonical++
+		ev := hamming.New(p)
+		for i, f := range pl.Filters {
+			stageStart := time.Now()
+			res.Stages[i].In++
+			keep, err := f.Keep(ev)
+			res.Stages[i].Elapsed += time.Since(stageStart)
+			if err != nil {
+				runErr = fmt.Errorf("stage %s on %v: %w", f.Name(), p, err)
+				return false
+			}
+			if !keep {
+				return true
+			}
+			res.Stages[i].Out++
+		}
+		res.Survivors = append(res.Survivors, p)
+		return true
+	})
+	res.Elapsed = time.Since(start)
+	if err != nil {
+		return nil, err
+	}
+	if runErr != nil {
+		return nil, runErr
+	}
+	return res, nil
+}
+
+// Census groups polynomials by factorization shape — the paper's Table 2.
+// Keys are shape strings such as "{1,1,15,15}"; values are counts.
+func Census(polys []poly.P) (map[string]int, error) {
+	out := make(map[string]int)
+	for _, p := range polys {
+		s, err := p.Shape()
+		if err != nil {
+			return nil, fmt.Errorf("census: %v: %w", p, err)
+		}
+		out[s]++
+	}
+	return out, nil
+}
+
+// AllDivisibleByXPlus1 reports whether every polynomial has the implicit
+// parity property — the paper's Table 2 finding for the HD=6 survivors.
+func AllDivisibleByXPlus1(polys []poly.P) bool {
+	for _, p := range polys {
+		if !p.DivisibleByXPlus1() {
+			return false
+		}
+	}
+	return true
+}
+
+// ShapeOf returns the factorization shape of a raw full polynomial — a
+// convenience wrapper for census consumers.
+func ShapeOf(full gf2.Poly) (string, error) {
+	p, err := poly.FromFull(full)
+	if err != nil {
+		return "", err
+	}
+	return p.Shape()
+}

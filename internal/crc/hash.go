@@ -1,0 +1,45 @@
+package crc
+
+import "hash"
+
+// Digest adapts an Engine to the standard hash.Hash32 interface so any
+// catalogued algorithm can drop into code written against hash/crc32.
+type Digest struct {
+	engine Engine
+	state  uint32
+}
+
+var _ hash.Hash32 = (*Digest)(nil)
+
+// NewDigest returns a hash.Hash32 over the engine's algorithm.
+func NewDigest(e Engine) *Digest {
+	return &Digest{engine: e, state: e.Init()}
+}
+
+// Write implements io.Writer; it never fails.
+func (d *Digest) Write(p []byte) (int, error) {
+	d.state = d.engine.Update(d.state, p)
+	return len(p), nil
+}
+
+// Sum32 implements hash.Hash32.
+func (d *Digest) Sum32() uint32 { return d.engine.Finalize(d.state) }
+
+// Sum appends the big-endian CRC to b.
+func (d *Digest) Sum(b []byte) []byte {
+	s := d.Sum32()
+	w := d.engine.Params().Poly.Width()
+	for i := (w + 7) / 8; i > 0; i-- {
+		b = append(b, byte(s>>uint(8*(i-1))))
+	}
+	return b
+}
+
+// Reset implements hash.Hash.
+func (d *Digest) Reset() { d.state = d.engine.Init() }
+
+// Size implements hash.Hash.
+func (d *Digest) Size() int { return (d.engine.Params().Poly.Width() + 7) / 8 }
+
+// BlockSize implements hash.Hash.
+func (d *Digest) BlockSize() int { return 1 }

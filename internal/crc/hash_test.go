@@ -1,0 +1,81 @@
+package crc
+
+import (
+	"hash/crc32"
+	"io"
+	"math/rand/v2"
+	"strings"
+	"testing"
+)
+
+func TestDigestMatchesStdlibHash(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2, 3))
+	std := crc32.NewIEEE()
+	ours := NewDigest(New(CRC32IEEE))
+	for trial := 0; trial < 30; trial++ {
+		std.Reset()
+		ours.Reset()
+		n := 1 + int(rng.Uint64N(4096))
+		data := make([]byte, n)
+		for i := range data {
+			data[i] = byte(rng.Uint64())
+		}
+		// Write in randomly sized chunks.
+		for off := 0; off < n; {
+			chunk := 1 + int(rng.Uint64N(257))
+			if off+chunk > n {
+				chunk = n - off
+			}
+			if _, err := std.Write(data[off : off+chunk]); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := ours.Write(data[off : off+chunk]); err != nil {
+				t.Fatal(err)
+			}
+			off += chunk
+		}
+		if std.Sum32() != ours.Sum32() {
+			t.Fatalf("Sum32 mismatch: %#x vs %#x", ours.Sum32(), std.Sum32())
+		}
+	}
+}
+
+func TestDigestSumAppends(t *testing.T) {
+	d := NewDigest(New(CRC32C))
+	if _, err := io.Copy(d, strings.NewReader("123456789")); err != nil {
+		t.Fatal(err)
+	}
+	got := d.Sum([]byte{0xAA})
+	want := []byte{0xAA, 0xE3, 0x06, 0x92, 0x83} // check value 0xE3069283
+	if len(got) != len(want) {
+		t.Fatalf("Sum = %x", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Sum = %x, want %x", got, want)
+		}
+	}
+	if d.Size() != 4 || d.BlockSize() != 1 {
+		t.Errorf("Size=%d BlockSize=%d", d.Size(), d.BlockSize())
+	}
+}
+
+func TestDigestNarrowWidth(t *testing.T) {
+	d := NewDigest(New(CRC16ARC))
+	if _, err := d.Write([]byte("123456789")); err != nil {
+		t.Fatal(err)
+	}
+	if d.Sum32() != 0xBB3D {
+		t.Errorf("Sum32 = %#x, want 0xBB3D", d.Sum32())
+	}
+	if got := d.Sum(nil); len(got) != 2 || got[0] != 0xBB || got[1] != 0x3D {
+		t.Errorf("Sum = %x", got)
+	}
+	d.Reset()
+	if _, err := d.Write([]byte("123456789")); err != nil {
+		t.Fatal(err)
+	}
+	if d.Sum32() != 0xBB3D {
+		t.Error("Reset broke the digest")
+	}
+}

@@ -1,0 +1,198 @@
+// Package errmodel injects transmission errors into CRC-protected frames
+// and measures detection outcomes. It provides the channel models the paper
+// reasons about — independent bit errors at a given BER (§3's "moderate
+// BER" argument), fixed-weight error patterns (the basis of Hamming
+// distance), and bursts — plus witness-driven corruption that converts an
+// undetectable pattern found by the hamming engine into a concrete
+// corrupted frame.
+package errmodel
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"koopmancrc/internal/crc"
+)
+
+// Channel corrupts a frame in place and returns the number of bits it
+// flipped. Implementations must be deterministic given the rng.
+type Channel interface {
+	// Corrupt flips bits of frame (length fixed) using rng.
+	Corrupt(frame []byte, rng *rand.Rand) int
+	// Name identifies the channel in reports.
+	Name() string
+}
+
+// BSC is a binary symmetric channel: each bit flips independently with
+// probability BER.
+type BSC struct {
+	BER float64
+}
+
+var _ Channel = BSC{}
+
+// Name implements Channel.
+func (c BSC) Name() string { return fmt.Sprintf("bsc(ber=%g)", c.BER) }
+
+// Corrupt implements Channel.
+func (c BSC) Corrupt(frame []byte, rng *rand.Rand) int {
+	flips := 0
+	for i := range frame {
+		for b := 0; b < 8; b++ {
+			if rng.Float64() < c.BER {
+				frame[i] ^= 1 << uint(b)
+				flips++
+			}
+		}
+	}
+	return flips
+}
+
+// FixedWeight flips exactly W distinct bits chosen uniformly — the error
+// class Hamming distance speaks about directly.
+type FixedWeight struct {
+	W int
+}
+
+var _ Channel = FixedWeight{}
+
+// Name implements Channel.
+func (c FixedWeight) Name() string { return fmt.Sprintf("fixed-weight(%d)", c.W) }
+
+// Corrupt implements Channel.
+func (c FixedWeight) Corrupt(frame []byte, rng *rand.Rand) int {
+	total := len(frame) * 8
+	if c.W > total {
+		return 0
+	}
+	chosen := make(map[int]struct{}, c.W)
+	for len(chosen) < c.W {
+		pos := int(rng.Uint64N(uint64(total)))
+		if _, dup := chosen[pos]; dup {
+			continue
+		}
+		chosen[pos] = struct{}{}
+		frame[pos/8] ^= 1 << uint(7-pos%8)
+	}
+	return c.W
+}
+
+// Burst flips a contiguous burst of length up to MaxLen bits with the first
+// and last bit of the burst always set (the conventional burst definition).
+type Burst struct {
+	MaxLen int
+}
+
+var _ Channel = Burst{}
+
+// Name implements Channel.
+func (c Burst) Name() string { return fmt.Sprintf("burst(max=%d)", c.MaxLen) }
+
+// Corrupt implements Channel.
+func (c Burst) Corrupt(frame []byte, rng *rand.Rand) int {
+	total := len(frame) * 8
+	if total == 0 || c.MaxLen < 1 {
+		return 0
+	}
+	length := 1 + int(rng.Uint64N(uint64(min(c.MaxLen, total))))
+	start := int(rng.Uint64N(uint64(total - length + 1)))
+	flips := 0
+	for b := 0; b < length; b++ {
+		if b == 0 || b == length-1 || rng.Uint64()&1 == 0 {
+			pos := start + b
+			frame[pos/8] ^= 1 << uint(7-pos%8)
+			flips++
+		}
+	}
+	return flips
+}
+
+// FlipCodewordPositions applies an undetectable-error witness from the
+// hamming engine to a frame. Witness positions are polynomial exponents
+// over the codeword: position 0 is the last-transmitted bit (the lowest FCS
+// bit), so frame bit index = total-1-position, MSB-first within bytes. The
+// frame must be a whole codeword (data followed by FCS) produced with a
+// pure, non-reflected CRC.
+func FlipCodewordPositions(frame []byte, positions []int) error {
+	total := len(frame) * 8
+	for _, p := range positions {
+		if p < 0 || p >= total {
+			return fmt.Errorf("errmodel: position %d outside %d-bit frame", p, total)
+		}
+		idx := total - 1 - p
+		frame[idx/8] ^= 1 << uint(7-idx%8)
+	}
+	return nil
+}
+
+// Report aggregates the outcome of a trial run.
+type Report struct {
+	Channel    string
+	Trials     int
+	Clean      int // channel flipped no bits
+	Detected   int
+	Undetected int
+}
+
+// UndetectedFraction is the fraction of corrupted frames that passed the
+// CRC check.
+func (r Report) UndetectedFraction() float64 {
+	corrupted := r.Trials - r.Clean
+	if corrupted == 0 {
+		return 0
+	}
+	return float64(r.Undetected) / float64(corrupted)
+}
+
+// Estimator runs Monte-Carlo detection trials for one CRC algorithm.
+type Estimator struct {
+	engine crc.Engine
+	rng    *rand.Rand
+}
+
+// NewEstimator builds an estimator with a deterministic seed.
+func NewEstimator(e crc.Engine, seed uint64) *Estimator {
+	return &Estimator{engine: e, rng: rand.New(rand.NewPCG(seed, 0xC0DEC0DE))}
+}
+
+// Run performs trials: each generates a random payload of payloadLen bytes,
+// appends the CRC, corrupts the frame through the channel and checks
+// whether the receiver notices (stored FCS vs recomputed FCS).
+func (s *Estimator) Run(ch Channel, payloadLen, trials int) (Report, error) {
+	if payloadLen < 1 || trials < 1 {
+		return Report{}, fmt.Errorf("errmodel: invalid run parameters payload=%d trials=%d", payloadLen, trials)
+	}
+	rep := Report{Channel: ch.Name(), Trials: trials}
+	width := s.engine.Params().Poly.Width()
+	if width%8 != 0 {
+		return Report{}, fmt.Errorf("errmodel: width %d not byte-aligned", width)
+	}
+	fcsBytes := width / 8
+	payload := make([]byte, payloadLen)
+	frame := make([]byte, payloadLen+fcsBytes)
+	for t := 0; t < trials; t++ {
+		for i := range payload {
+			payload[i] = byte(s.rng.Uint64())
+		}
+		fcs := s.engine.Checksum(payload)
+		copy(frame, payload)
+		for i := 0; i < fcsBytes; i++ {
+			frame[payloadLen+i] = byte(fcs >> uint(8*(fcsBytes-1-i)))
+		}
+		flips := ch.Corrupt(frame, s.rng)
+		if flips == 0 {
+			rep.Clean++
+			continue
+		}
+		gotFCS := uint32(0)
+		for i := 0; i < fcsBytes; i++ {
+			gotFCS = gotFCS<<8 | uint32(frame[payloadLen+i])
+		}
+		if s.engine.Checksum(frame[:payloadLen]) == gotFCS {
+			rep.Undetected++
+		} else {
+			rep.Detected++
+		}
+	}
+	return rep, nil
+}

@@ -1,0 +1,192 @@
+package errmodel
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"koopmancrc/internal/crc"
+	"koopmancrc/internal/hamming"
+	"koopmancrc/internal/poly"
+)
+
+func TestWitnessCorruptionIsUndetectable(t *testing.T) {
+	// Convert a weight-4 undetectable pattern of the 802.3 polynomial at
+	// 2975 data bits (the §4.1 breakpoint; W4 = 1 there) into a concrete
+	// corrupted frame: the CRC must NOT notice, while the paper's
+	// 0xBA0DC66B (HD=6 at this length) must.
+	ev := hamming.New(poly.IEEE8023)
+	wit, found, err := ev.Exists(4, 2975)
+	if err != nil || !found {
+		t.Fatalf("witness: %v %v", found, err)
+	}
+
+	const payloadBytes = (2975 + 7) / 8 // witness needs a codeword of >= 3007 bits
+	if payloadBytes*8+32 < wit[len(wit)-1]+1 {
+		t.Fatalf("frame too small for witness %v", wit)
+	}
+	rng := rand.New(rand.NewPCG(1, 2))
+	payload := make([]byte, payloadBytes)
+	for i := range payload {
+		payload[i] = byte(rng.Uint64())
+	}
+	engine8023 := crc.NewBitwise(crc.Pure(poly.IEEE8023))
+	engineK := crc.NewBitwise(crc.Pure(poly.Koopman32K))
+
+	frame := append([]byte(nil), payload...)
+	fcs := engine8023.Checksum(payload)
+	frame = append(frame, byte(fcs>>24), byte(fcs>>16), byte(fcs>>8), byte(fcs))
+	if engine8023.Checksum(frame) != 0 {
+		t.Fatal("valid codeword should have zero remainder")
+	}
+	before := engineK.Checksum(frame)
+
+	if err := FlipCodewordPositions(frame, wit); err != nil {
+		t.Fatal(err)
+	}
+	if engine8023.Checksum(frame) != 0 {
+		t.Fatal("witness corruption should be invisible to the 802.3 CRC")
+	}
+	if engineK.Checksum(frame) == before {
+		t.Fatal("0xBA0DC66B should detect the 802.3-undetectable 4-bit error")
+	}
+}
+
+func TestFlipPositionsValidation(t *testing.T) {
+	frame := make([]byte, 4)
+	if err := FlipCodewordPositions(frame, []int{32}); err == nil {
+		t.Error("out-of-range position should error")
+	}
+	if err := FlipCodewordPositions(frame, []int{-1}); err == nil {
+		t.Error("negative position should error")
+	}
+	// Flipping twice restores the frame.
+	if err := FlipCodewordPositions(frame, []int{0, 7, 31}); err != nil {
+		t.Fatal(err)
+	}
+	if err := FlipCodewordPositions(frame, []int{0, 7, 31}); err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range frame {
+		if b != 0 {
+			t.Fatal("double flip should cancel")
+		}
+	}
+}
+
+func TestOddWeightAlwaysDetectedByParityPolynomial(t *testing.T) {
+	// CRC-8/ATM's generator x^8+x^2+x+1 is divisible by (x+1): every
+	// odd-weight error must be caught, regardless of position.
+	est := NewEstimator(crc.NewBitwise(crc.Pure(poly.ATM8)), 7)
+	for _, w := range []int{1, 3, 5, 7} {
+		rep, err := est.Run(FixedWeight{W: w}, 16, 3000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Undetected != 0 {
+			t.Errorf("weight %d: %d undetected errors for (x+1)-divisible generator", w, rep.Undetected)
+		}
+	}
+}
+
+func TestFixedWeightBelowHDAlwaysDetected(t *testing.T) {
+	// 0xBA0DC66B keeps HD=6 at MTU length: every 1..5-bit error within an
+	// MTU frame is detected.
+	if testing.Short() {
+		t.Skip("MTU-frame Monte Carlo in -short mode")
+	}
+	est := NewEstimator(crc.New(crc.CRC32K), 11)
+	for _, w := range []int{2, 3, 4, 5} {
+		rep, err := est.Run(FixedWeight{W: w}, 1514, 400)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Undetected != 0 {
+			t.Errorf("weight %d: %d undetected within HD=6 regime", w, rep.Undetected)
+		}
+	}
+}
+
+func TestBurstWithinWidthAlwaysDetected(t *testing.T) {
+	for _, params := range []crc.Params{crc.CRC32IEEE, crc.CRC32C, crc.CRC32K} {
+		est := NewEstimator(crc.New(params), 13)
+		rep, err := est.Run(Burst{MaxLen: 32}, 256, 2000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Undetected != 0 {
+			t.Errorf("%s: %d undetected bursts <= 32 bits", params.Name, rep.Undetected)
+		}
+	}
+}
+
+func TestUndetectedRateMatchesWeightsForTinyCRC(t *testing.T) {
+	// For a width-8 CRC and weight-2 errors the undetected fraction is
+	// exactly W2 / C(total,2); Monte Carlo must converge to it.
+	// x^8+x^2+x+1 has period 127, so a 136-bit codeword (16-byte payload)
+	// admits exactly 9 undetectable 2-bit patterns {i, i+127}.
+	p := poly.ATM8
+	const payloadBytes = 16
+	total := payloadBytes*8 + 8
+	ev := hamming.New(p)
+	w2, err := ev.Weight(2, payloadBytes*8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w2 == 0 {
+		t.Fatal("test needs a length with undetectable 2-bit errors")
+	}
+	want := float64(w2) / float64(total*(total-1)/2)
+
+	est := NewEstimator(crc.NewBitwise(crc.Pure(p)), 17)
+	rep, err := est.Run(FixedWeight{W: 2}, payloadBytes, 400000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := rep.UndetectedFraction()
+	if math.Abs(got-want) > want/2 {
+		t.Errorf("undetected fraction %.5f, analytic %.5f", got, want)
+	}
+}
+
+func TestBSCStatistics(t *testing.T) {
+	est := NewEstimator(crc.New(crc.CRC8SMBus), 23)
+	rep, err := est.Run(BSC{BER: 1e-2}, 32, 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Clean+rep.Detected+rep.Undetected != rep.Trials {
+		t.Errorf("accounting broken: %+v", rep)
+	}
+	// With 264 bits/frame at BER 1e-2 almost every frame is corrupted and
+	// the vast majority of corruptions are detected.
+	if rep.Detected == 0 {
+		t.Error("expected detections")
+	}
+	if rep.UndetectedFraction() > 0.05 {
+		t.Errorf("undetected fraction %.4f implausibly high", rep.UndetectedFraction())
+	}
+}
+
+func TestEstimatorValidation(t *testing.T) {
+	est := NewEstimator(crc.New(crc.CRC32IEEE), 1)
+	if _, err := est.Run(BSC{BER: 0.1}, 0, 10); err == nil {
+		t.Error("zero payload should error")
+	}
+	if _, err := est.Run(BSC{BER: 0.1}, 10, 0); err == nil {
+		t.Error("zero trials should error")
+	}
+	p5, _ := poly.FromNormal(5, 0x05)
+	est5 := NewEstimator(crc.NewBitwise(crc.Pure(p5)), 1)
+	if _, err := est5.Run(BSC{BER: 0.1}, 10, 10); err == nil {
+		t.Error("non-byte width should error")
+	}
+}
+
+func TestChannelNames(t *testing.T) {
+	for _, c := range []Channel{BSC{BER: 0.5}, FixedWeight{W: 3}, Burst{MaxLen: 8}} {
+		if c.Name() == "" {
+			t.Errorf("%T has empty name", c)
+		}
+	}
+}

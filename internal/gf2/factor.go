@@ -1,0 +1,232 @@
+package gf2
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sort"
+)
+
+// Factor is one irreducible factor of a polynomial together with its
+// multiplicity in the factorization.
+type Factor struct {
+	P    Poly // irreducible factor
+	Mult int  // multiplicity (>= 1)
+}
+
+// Deg returns the degree of the factor polynomial.
+func (f Factor) Deg() int { return f.P.Deg() }
+
+// IsIrreducible reports whether f is irreducible over GF(2) using Rabin's
+// test: f of degree n is irreducible iff x^(2^n) == x (mod f) and, for every
+// prime divisor q of n, gcd(x^(2^(n/q)) - x, f) == 1.
+func IsIrreducible(f Poly) bool {
+	n := f.Deg()
+	switch {
+	case n <= 0:
+		return false
+	case n == 1:
+		return true // x and x+1
+	}
+	if f&1 == 0 {
+		return false // divisible by x
+	}
+	// x^(2^n) mod f via n squarings of x.
+	h := Mod(X, f)
+	for i := 0; i < n; i++ {
+		h = MulMod(h, h, f)
+	}
+	if h != Mod(X, f) {
+		return false
+	}
+	for _, q := range primeDivisorsInt(n) {
+		k := n / q
+		g := Mod(X, f)
+		for i := 0; i < k; i++ {
+			g = MulMod(g, g, f)
+		}
+		if Gcd(f, g.Add(X)) != One {
+			return false
+		}
+	}
+	return true
+}
+
+// primeDivisorsInt returns the distinct prime divisors of small n (n <= 64).
+func primeDivisorsInt(n int) []int {
+	var out []int
+	for p := 2; p*p <= n; p++ {
+		if n%p == 0 {
+			out = append(out, p)
+			for n%p == 0 {
+				n /= p
+			}
+		}
+	}
+	if n > 1 {
+		out = append(out, n)
+	}
+	return out
+}
+
+// Factorize returns the complete factorization of f into irreducible factors
+// with multiplicities, sorted by (degree, value). It returns an error for the
+// zero and constant polynomials, which have no factorization into
+// irreducibles.
+//
+// The algorithm is the textbook chain for GF(2): strip powers of x, take the
+// square-free decomposition (characteristic-2 Yun), split each square-free
+// part by distinct-degree factorization, and finish with Cantor–Zassenhaus
+// equal-degree splitting using the GF(2) trace map.
+func Factorize(f Poly) ([]Factor, error) {
+	if f.Deg() <= 0 {
+		return nil, fmt.Errorf("gf2: cannot factor constant polynomial %#x", uint64(f))
+	}
+	rng := rand.New(rand.NewPCG(0x9E3779B97F4A7C15, uint64(f)))
+	var out []Factor
+	// Strip the x^k factor so every remaining part has non-zero constant term.
+	if k := trailingZeros(f); k > 0 {
+		out = append(out, Factor{P: X, Mult: k})
+		f >>= uint(k)
+	}
+	for _, sq := range squareFree(f) {
+		for _, p := range splitSquareFree(sq.P, rng) {
+			out = append(out, Factor{P: p, Mult: sq.Mult})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if d1, d2 := out[i].Deg(), out[j].Deg(); d1 != d2 {
+			return d1 < d2
+		}
+		return out[i].P < out[j].P
+	})
+	return out, nil
+}
+
+func trailingZeros(f Poly) int {
+	n := 0
+	for f&1 == 0 && f != 0 {
+		n++
+		f >>= 1
+	}
+	return n
+}
+
+// squareFree returns the square-free decomposition of f (constant term must
+// be non-zero): pairwise-coprime square-free parts with multiplicities whose
+// product (with exponents) is f.
+func squareFree(f Poly) []Factor {
+	if f.Deg() <= 0 {
+		return nil
+	}
+	fp := Derivative(f)
+	if fp == 0 {
+		// f = g(x)^2 over GF(2); recurse on the square root.
+		sub := squareFree(Sqrt(f))
+		for i := range sub {
+			sub[i].Mult *= 2
+		}
+		return sub
+	}
+	var out []Factor
+	c := Gcd(f, fp)
+	w := Div(f, c)
+	for i := 1; w != One; i++ {
+		y := Gcd(w, c)
+		if z := Div(w, y); z != One {
+			out = append(out, Factor{P: z, Mult: i})
+		}
+		w = y
+		c = Div(c, y)
+	}
+	if c != One {
+		// The leftover carries the factors whose multiplicity is even;
+		// it is a perfect square.
+		sub := squareFree(Sqrt(c))
+		for _, s := range sub {
+			out = append(out, Factor{P: s.P, Mult: 2 * s.Mult})
+		}
+	}
+	return out
+}
+
+// splitSquareFree fully factors a square-free polynomial with non-zero
+// constant term into irreducibles (each appearing once).
+func splitSquareFree(f Poly, rng *rand.Rand) []Poly {
+	if f.Deg() <= 0 {
+		return nil
+	}
+	var out []Poly
+	// Distinct-degree factorization: peel off the product of all irreducible
+	// factors of degree d for d = 1, 2, ...
+	g := f
+	h := Mod(X, g)
+	for d := 1; 2*d <= g.Deg(); d++ {
+		h = MulMod(h, h, g) // h = x^(2^d) mod g
+		gd := Gcd(g, h.Add(Mod(X, g)))
+		if gd != One {
+			out = append(out, equalDegree(gd, d, rng)...)
+			g = Div(g, gd)
+			if g.Deg() <= 0 {
+				break
+			}
+			h = Mod(h, g)
+		}
+	}
+	if g.Deg() > 0 {
+		out = append(out, g) // remaining part is irreducible
+	}
+	return out
+}
+
+// equalDegree splits h, a product of distinct irreducible factors all of
+// degree d, into those factors using the GF(2) trace map (Cantor–Zassenhaus).
+func equalDegree(h Poly, d int, rng *rand.Rand) []Poly {
+	if h.Deg() == d {
+		return []Poly{h}
+	}
+	for {
+		// Random polynomial of degree < deg(h).
+		r := Poly(rng.Uint64()) & ((1 << uint(h.Deg())) - 1)
+		if r.Deg() < 1 {
+			continue
+		}
+		// Trace: T(r) = r + r^2 + r^4 + ... + r^(2^(d-1)) mod h maps to GF(2)
+		// on each factor, so gcd(h, T(r)) splits h with probability ~1/2.
+		t := Mod(r, h)
+		acc := t
+		for i := 1; i < d; i++ {
+			t = MulMod(t, t, h)
+			acc ^= t
+		}
+		g := Gcd(h, acc)
+		if g.Deg() > 0 && g.Deg() < h.Deg() {
+			out := equalDegree(g, d, rng)
+			return append(out, equalDegree(Div(h, g), d, rng)...)
+		}
+	}
+}
+
+// Product multiplies out a factorization, the inverse of Factorize. The
+// caller must ensure the result degree fits in 63 bits.
+func Product(factors []Factor) Poly {
+	r := One
+	for _, f := range factors {
+		for i := 0; i < f.Mult; i++ {
+			r = Mul(r, f.P)
+		}
+	}
+	return r
+}
+
+// Shape returns the multiset of factor degrees (with multiplicity expanded),
+// sorted ascending — the paper's "{1,3,28}" notation as a slice.
+func Shape(factors []Factor) []int {
+	var out []int
+	for _, f := range factors {
+		for i := 0; i < f.Mult; i++ {
+			out = append(out, f.Deg())
+		}
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,149 @@
+package gf2
+
+import (
+	"math/bits"
+	"sort"
+)
+
+// Factor64 returns the prime factorization of n as a sorted slice of primes
+// with multiplicity (e.g. 12 -> [2 2 3]). Factor64(0) and Factor64(1) return
+// nil. It uses trial division for small primes and Brent's variant of
+// Pollard's rho with deterministic Miller–Rabin for the rest, which is more
+// than fast enough for the 2^d-1 values (d <= 63) needed for polynomial
+// order computation.
+func Factor64(n uint64) []uint64 {
+	if n < 2 {
+		return nil
+	}
+	var out []uint64
+	for _, p := range []uint64{2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47} {
+		for n%p == 0 {
+			out = append(out, p)
+			n /= p
+		}
+	}
+	var rec func(m uint64)
+	rec = func(m uint64) {
+		if m == 1 {
+			return
+		}
+		if IsPrime64(m) {
+			out = append(out, m)
+			return
+		}
+		d := pollardRho(m)
+		rec(d)
+		rec(m / d)
+	}
+	rec(n)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// DistinctPrimes64 returns the distinct prime divisors of n, sorted.
+func DistinctPrimes64(n uint64) []uint64 {
+	all := Factor64(n)
+	var out []uint64
+	for i, p := range all {
+		if i == 0 || p != all[i-1] {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// IsPrime64 reports whether n is prime, using a Miller–Rabin test with a
+// base set that is deterministic for all 64-bit integers.
+func IsPrime64(n uint64) bool {
+	if n < 2 {
+		return false
+	}
+	for _, p := range []uint64{2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37} {
+		if n == p {
+			return true
+		}
+		if n%p == 0 {
+			return false
+		}
+	}
+	d := n - 1
+	r := 0
+	for d&1 == 0 {
+		d >>= 1
+		r++
+	}
+	// These bases are a known deterministic set for n < 2^64.
+	for _, a := range []uint64{2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37} {
+		x := powMod64(a%n, d, n)
+		if x == 1 || x == n-1 {
+			continue
+		}
+		composite := true
+		for i := 0; i < r-1; i++ {
+			x = mulMod64(x, x, n)
+			if x == n-1 {
+				composite = false
+				break
+			}
+		}
+		if composite {
+			return false
+		}
+	}
+	return true
+}
+
+func mulMod64(a, b, m uint64) uint64 {
+	hi, lo := bits.Mul64(a, b)
+	return bits.Rem64(hi, lo, m)
+}
+
+func powMod64(b, e, m uint64) uint64 {
+	if m == 1 {
+		return 0
+	}
+	r := uint64(1)
+	b %= m
+	for e > 0 {
+		if e&1 == 1 {
+			r = mulMod64(r, b, m)
+		}
+		b = mulMod64(b, b, m)
+		e >>= 1
+	}
+	return r
+}
+
+// pollardRho returns a non-trivial divisor of composite odd n using Brent's
+// cycle-finding variant.
+func pollardRho(n uint64) uint64 {
+	if n%2 == 0 {
+		return 2
+	}
+	for c := uint64(1); ; c++ {
+		f := func(x uint64) uint64 { return mulMod64(x, x, n) + c }
+		x, y, d := uint64(2), uint64(2), uint64(1)
+		for d == 1 {
+			x = f(x)
+			y = f(f(y))
+			diff := x - y
+			if x < y {
+				diff = y - x
+			}
+			if diff == 0 {
+				break // cycle without factor; retry with new c
+			}
+			d = gcd64(diff, n)
+		}
+		if d != 1 && d != n {
+			return d
+		}
+	}
+}
+
+func gcd64(a, b uint64) uint64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}

@@ -1,0 +1,196 @@
+package gf2
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeg(t *testing.T) {
+	tests := []struct {
+		p    Poly
+		want int
+	}{
+		{0, -1},
+		{1, 0},
+		{X, 1},
+		{XPlus1, 1},
+		{0x8, 3},
+		{0x104C11DB7, 32},
+		{1 << 63, 63},
+	}
+	for _, tt := range tests {
+		if got := tt.p.Deg(); got != tt.want {
+			t.Errorf("Deg(%#x) = %d, want %d", uint64(tt.p), got, tt.want)
+		}
+	}
+}
+
+func TestMulSmall(t *testing.T) {
+	tests := []struct {
+		a, b, want Poly
+	}{
+		{0, 0x5, 0},
+		{1, 0x5, 0x5},
+		{X, X, 0x4},
+		{XPlus1, XPlus1, 0x5}, // (x+1)^2 = x^2+1
+		{0x7, 0x7, 0x15},      // (x^2+x+1)^2 = x^4+x^2+1
+		{XPlus1, 0x7, 0x9},    // (x+1)(x^2+x+1) = x^3+1
+		{0xD, XPlus1, 0x17},   // (x^3+x^2+1)(x+1) = x^4+x^2+x+1
+	}
+	for _, tt := range tests {
+		if got := Mul(tt.a, tt.b); got != tt.want {
+			t.Errorf("Mul(%#x,%#x) = %#x, want %#x", uint64(tt.a), uint64(tt.b), uint64(got), uint64(tt.want))
+		}
+		if got := Mul(tt.b, tt.a); got != tt.want {
+			t.Errorf("Mul commuted (%#x,%#x) = %#x, want %#x", uint64(tt.b), uint64(tt.a), uint64(got), uint64(tt.want))
+		}
+	}
+}
+
+func TestDivModReconstruction(t *testing.T) {
+	f := func(a uint64, m uint64) bool {
+		mp := Poly(m)
+		if mp == 0 {
+			mp = 1
+		}
+		// Keep degrees in range so Mul cannot overflow.
+		ap := Poly(a)
+		q, r := DivMod(ap, mp)
+		if r != 0 && r.Deg() >= mp.Deg() {
+			return false
+		}
+		if q.Deg()+mp.Deg() > 63 {
+			return true // skip overflow-prone reconstruction
+		}
+		return Mul(q, mp)^r == ap
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestModByOne(t *testing.T) {
+	if got := Mod(0x12345, 1); got != 0 {
+		t.Errorf("Mod(p, 1) = %#x, want 0", uint64(got))
+	}
+}
+
+func TestDivModPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("DivMod by zero did not panic")
+		}
+	}()
+	DivMod(0x5, 0)
+}
+
+func TestMulModMatchesMulThenMod(t *testing.T) {
+	f := func(a, b uint32, m uint32) bool {
+		mp := Poly(m) | 1<<20 // ensure degree 20 modulus
+		ap, bp := Poly(a), Poly(b)
+		want := Mod(Mul(Mod(ap, mp), Mod(bp, mp)), mp)
+		return MulMod(ap, bp, mp) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExpMod(t *testing.T) {
+	m := Poly(0x13) // x^4+x+1, primitive
+	// x^15 == 1 mod primitive degree-4 polynomial.
+	if got := ExpMod(X, 15, m); got != One {
+		t.Errorf("x^15 mod 0x13 = %#x, want 1", uint64(got))
+	}
+	if got := ExpMod(X, 5, m); got == One {
+		t.Error("x^5 mod 0x13 = 1; order should be 15")
+	}
+	if got := ExpMod(X, 0, m); got != One {
+		t.Errorf("x^0 = %#x, want 1", uint64(got))
+	}
+}
+
+func TestGcd(t *testing.T) {
+	a := Mul(0x7, 0xB)  // (x^2+x+1)(x^3+x+1)
+	b := Mul(0x7, 0x19) // (x^2+x+1)(x^4+x^3+1)
+	if got := Gcd(a, b); got != 0x7 {
+		t.Errorf("Gcd = %#x, want 0x7", uint64(got))
+	}
+	if got := Gcd(0, 0x7); got != 0x7 {
+		t.Errorf("Gcd(0,p) = %#x, want p", uint64(got))
+	}
+	if got := Gcd(0, 0); got != 0 {
+		t.Errorf("Gcd(0,0) = %#x, want 0", uint64(got))
+	}
+}
+
+func TestDerivative(t *testing.T) {
+	// d/dx (x^3 + x^2 + x + 1) = x^2 + 1 over GF(2).
+	if got := Derivative(0xF); got != 0x5 {
+		t.Errorf("Derivative(0xF) = %#x, want 0x5", uint64(got))
+	}
+	// Derivative of a square is zero.
+	f := func(g uint32) bool {
+		gp := Poly(g)
+		return Derivative(Mul(gp, gp)) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSqrtOfSquare(t *testing.T) {
+	f := func(g uint32) bool {
+		gp := Poly(g)
+		return Sqrt(Mul(gp, gp)) == gp
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReciprocalInvolution(t *testing.T) {
+	f := func(p uint64) bool {
+		pp := Poly(p) | 1 // non-zero constant term
+		return Reciprocal(Reciprocal(pp)) == pp
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReciprocalKnown(t *testing.T) {
+	// Reciprocal of x^3+x+1 (0xB) is x^3+x^2+1 (0xD).
+	if got := Reciprocal(0xB); got != 0xD {
+		t.Errorf("Reciprocal(0xB) = %#x, want 0xD", uint64(got))
+	}
+}
+
+func TestWeight(t *testing.T) {
+	if got := Poly(0x104C11DB7).Weight(); got != 15 {
+		t.Errorf("Weight(CRC-32 generator) = %d, want 15 terms", got)
+	}
+}
+
+func TestMulLinearity(t *testing.T) {
+	f := func(a, b, c uint16) bool {
+		ap, bp, cp := Poly(a), Poly(b), Poly(c)
+		return Mul(ap, bp^cp) == Mul(ap, bp)^Mul(ap, cp)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMulAssociativity(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	for i := 0; i < 1000; i++ {
+		a := Poly(rng.Uint64N(1 << 10))
+		b := Poly(rng.Uint64N(1 << 10))
+		c := Poly(rng.Uint64N(1 << 10))
+		if Mul(Mul(a, b), c) != Mul(a, Mul(b, c)) {
+			t.Fatalf("associativity failed for %#x %#x %#x", uint64(a), uint64(b), uint64(c))
+		}
+	}
+}

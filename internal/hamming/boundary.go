@@ -1,0 +1,219 @@
+package hamming
+
+import "fmt"
+
+// Strategy selects how FirstDataLen locates a weight boundary for w >= 5.
+type Strategy int
+
+// Available strategies.
+const (
+	// StrategyIncreasing is the paper's §4.1 method: filter at
+	// geometrically increasing lengths until the breakpoint is straddled,
+	// then binary-subdivide the final interval. Cheap evaluations at short
+	// lengths reject quickly; only the last interval pays full cost.
+	StrategyIncreasing Strategy = iota + 1
+	// StrategyDirect evaluates the full length first and only then binary
+	// searches. It is the baseline the paper's method is compared against.
+	StrategyDirect
+)
+
+// FirstDataLen returns the smallest data-word length (up to maxLen) at
+// which some undetectable error pattern of exactly w bits fits, together
+// with a witness pattern. found is false if no such length exists within
+// maxLen.
+func (e *Evaluator) FirstDataLen(w, maxLen int) (int, []int, bool, error) {
+	return e.FirstDataLenStrategy(w, maxLen, StrategyIncreasing)
+}
+
+// FirstDataLenStrategy is FirstDataLen with an explicit search strategy for
+// the w >= 5 boundary search.
+func (e *Evaluator) FirstDataLenStrategy(w, maxLen int, s Strategy) (int, []int, bool, error) {
+	if w < 2 {
+		return 0, nil, false, fmt.Errorf("hamming: invalid weight %d", w)
+	}
+	if maxLen < 1 {
+		return 0, nil, false, nil
+	}
+	switch w {
+	case 2:
+		period, err := e.Period()
+		if err != nil {
+			return 0, nil, false, err
+		}
+		// First 2-bit pattern spans positions {0, period}: codeword length
+		// period+1, data length period+1-width.
+		if period > uint64(e.codewordLen(maxLen)-1) {
+			return 0, nil, false, nil
+		}
+		return e.dataLenFor(int(period)), []int{0, int(period)}, true, nil
+	case 3:
+		return e.firstLen3(maxLen)
+	case 4:
+		return e.firstLen4(maxLen)
+	default:
+		return e.firstLenSearch(w, maxLen, s)
+	}
+}
+
+// firstLen3 scans codeword positions once, maintaining the syndromes of all
+// {0,a} prefixes: the first position c whose syndrome completes a weight-3
+// pattern is the boundary.
+func (e *Evaluator) firstLen3(maxLen int) (int, []int, bool, error) {
+	n := e.codewordLen(maxLen)
+	syn := e.syndromes(n)
+	m := newU32Map(n)
+	for c := 1; c < n; c++ {
+		if a := m.get(syn[c]); a >= 0 && int(a) != c {
+			wit := []int{0, int(a), c}
+			if err := e.verifyWitness(3, n, wit); err != nil {
+				return 0, nil, false, err
+			}
+			e.Stats.EarlyExits++
+			return e.dataLenFor(c), wit, true, nil
+		}
+		m.put(1^syn[c], int32(c))
+	}
+	e.Stats.Probes += int64(n)
+	return 0, nil, false, nil
+}
+
+// firstLen4 is the incremental pair scan: for each new maximum position c it
+// probes every pair {b,c} against the stored {0,a} syndromes. The first hit
+// is the exact weight-4 boundary; the scan is O(c*^2) with a small
+// cache-resident hash table.
+func (e *Evaluator) firstLen4(maxLen int) (int, []int, bool, error) {
+	n := e.codewordLen(maxLen)
+	syn := e.syndromes(n)
+	m := newU32Map(n)
+	probes := int64(0)
+	for c := 1; c < n; c++ {
+		sc := syn[c]
+		for b := 1; b < c; b++ {
+			if a := m.get(syn[b] ^ sc); a >= 0 {
+				ia := int(a)
+				if ia == b || ia == c {
+					continue // degenerate: implies a lower-weight pattern
+				}
+				wit := []int{0, ia, b, c}
+				if ia > b {
+					wit = []int{0, b, ia, c}
+				}
+				if err := e.verifyWitness(4, n, wit); err != nil {
+					return 0, nil, false, err
+				}
+				e.Stats.EarlyExits++
+				e.Stats.Probes += probes + int64(b)
+				return e.dataLenFor(c), wit, true, nil
+			}
+		}
+		probes += int64(c - 1)
+		if probes > e.opts.MaxProbes {
+			return 0, nil, false, fmt.Errorf("%w: weight-4 scan at %d codeword bits", ErrBudgetExceeded, c)
+		}
+		m.put(1^sc, int32(c))
+	}
+	e.Stats.Probes += probes
+	return 0, nil, false, nil
+}
+
+// firstLenSearch locates a w>=5 boundary with existence queries.
+func (e *Evaluator) firstLenSearch(w, maxLen int, s Strategy) (int, []int, bool, error) {
+	// lo is the largest length known to have no weight-w pattern; hi the
+	// smallest known to have one.
+	lo, hi := 0, 0
+	var hiWitness []int
+	switch s {
+	case StrategyDirect:
+		wit, found, err := e.Exists(w, maxLen)
+		if err != nil {
+			return 0, nil, false, err
+		}
+		if !found {
+			return 0, nil, false, nil
+		}
+		hi, hiWitness = maxLen, wit
+	default: // StrategyIncreasing
+		prev := 0
+		for l := 8; ; l *= 2 {
+			if l > maxLen {
+				l = maxLen
+			}
+			wit, found, err := e.Exists(w, l)
+			if err != nil {
+				return 0, nil, false, err
+			}
+			if found {
+				lo, hi, hiWitness = prev, l, wit
+				break
+			}
+			prev = l
+			if l == maxLen {
+				return 0, nil, false, nil
+			}
+		}
+		lo = prev
+	}
+	for hi-lo > 1 {
+		mid := lo + (hi-lo)/2
+		wit, found, err := e.Exists(w, mid)
+		if err != nil {
+			return 0, nil, false, err
+		}
+		if found {
+			hi, hiWitness = mid, wit
+		} else {
+			lo = mid
+		}
+	}
+	return hi, hiWitness, true, nil
+}
+
+// HDAt returns the exact Hamming distance at the given data-word length,
+// searching weights up to maxHD. If no undetectable pattern of weight <=
+// maxHD exists, it returns maxHD+1 with exact = false (the true HD is at
+// least that).
+func (e *Evaluator) HDAt(dataLen, maxHD int) (hd int, exact bool, err error) {
+	for w := 2; w <= maxHD; w++ {
+		_, found, err := e.Exists(w, dataLen)
+		if err != nil {
+			return 0, false, err
+		}
+		if found {
+			return w, true, nil
+		}
+	}
+	return maxHD + 1, false, nil
+}
+
+// MeetsHD reports whether the polynomial attains at least the given Hamming
+// distance at the data-word length: no undetectable pattern of weight
+// < minHD exists. This is the paper's filtering predicate — evaluation
+// stops at the first non-zero weight rather than computing exact weights.
+func (e *Evaluator) MeetsHD(dataLen, minHD int) (bool, error) {
+	for w := 2; w < minHD; w++ {
+		_, found, err := e.Exists(w, dataLen)
+		if err != nil {
+			return false, err
+		}
+		if found {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// MeetsHDAtLengths applies MeetsHD at each length in order — the paper's
+// "filtering with increasing lengths": a polynomial rejected at a short
+// length is never evaluated at the expensive longer ones.
+func (e *Evaluator) MeetsHDAtLengths(lengths []int, minHD int) (bool, error) {
+	for _, l := range lengths {
+		ok, err := e.MeetsHD(l, minHD)
+		if err != nil {
+			return false, err
+		}
+		if !ok {
+			return false, nil
+		}
+	}
+	return true, nil
+}

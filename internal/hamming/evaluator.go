@@ -1,0 +1,199 @@
+// Package hamming computes the error-detection performance of CRC generator
+// polynomials: undetectable-error weights, Hamming-distance boundaries and
+// the HD-vs-length band profiles of the paper's Table 1 and Figure 1.
+//
+// # Model
+//
+// By CRC linearity (paper §3) a k-bit corruption of a codeword is
+// undetectable exactly when the k flipped positions themselves form a
+// codeword, i.e. when the error polynomial is a multiple of the generator
+// G(x). Position i of an (n+r)-bit codeword corresponds to the monomial x^i
+// (position 0 is the last-transmitted FCS bit). A pattern is therefore
+// undetectable iff the XOR of the position syndromes x^i mod G is zero, and
+// the minimum Hamming distance at data-word length n is the smallest weight
+// of any non-zero multiple of G fitting in n+r bits.
+//
+// Dividing by x shows every minimal pattern can be taken to include
+// position 0, which is what makes meet-in-the-middle search over syndrome
+// sets exact.
+//
+// # Engines
+//
+// Two engines are provided. The fast engine (Exists, FirstDataLen, Weight,
+// Profile) exploits the syndrome formulation; the brute-force engine
+// (ExistsBrute, WeightBrute) enumerates bit patterns exactly as the paper's
+// software did — including the FCS-bits-first ordering and early-bailout
+// optimisations of §4.1 — and serves as the reference implementation the
+// fast engine is validated against.
+package hamming
+
+import (
+	"errors"
+	"fmt"
+
+	"koopmancrc/internal/poly"
+)
+
+// Default resource limits.
+const (
+	// DefaultMaxStoreEntries bounds the number of subset syndromes
+	// materialised on the store side of a meet-in-the-middle join before
+	// switching to the whole-space bitmap.
+	DefaultMaxStoreEntries = 1 << 20
+	// DefaultMaxPairBuffer bounds the pair-syndrome buffer used by exact
+	// weight-4 counting (entries, 4 bytes each).
+	DefaultMaxPairBuffer = 300 << 20
+	// DefaultMaxProbes bounds the total probe work of a single existence
+	// query; queries beyond it return ErrBudgetExceeded.
+	DefaultMaxProbes = int64(1) << 62
+)
+
+// ErrBudgetExceeded reports that an evaluation exceeded its configured
+// probe or memory budget; results are not available at this length.
+var ErrBudgetExceeded = errors.New("hamming: evaluation budget exceeded")
+
+// Stats accumulates work counters across evaluator calls, used by the
+// benchmark harness to report the effect of each of the paper's
+// optimisations.
+type Stats struct {
+	Probes      int64 // subset syndromes tested
+	StoreOps    int64 // subset syndromes inserted
+	EarlyExits  int64 // searches terminated by the first undetectable error
+	Resolutions int64 // bitmap hits re-resolved into explicit witnesses
+}
+
+// Options configure an Evaluator.
+type Options struct {
+	MaxStoreEntries int
+	MaxPairBuffer   int
+	MaxProbes       int64
+}
+
+// Option mutates evaluator options.
+type Option func(*Options)
+
+// WithMaxProbes bounds the probe work per existence query.
+func WithMaxProbes(n int64) Option { return func(o *Options) { o.MaxProbes = n } }
+
+// WithMaxPairBuffer bounds the exact weight-4 pair buffer (entries).
+func WithMaxPairBuffer(n int) Option { return func(o *Options) { o.MaxPairBuffer = n } }
+
+// WithMaxStoreEntries sets the threshold above which meet-in-the-middle
+// joins switch from a positional map to the whole-space bitmap.
+func WithMaxStoreEntries(n int) Option { return func(o *Options) { o.MaxStoreEntries = n } }
+
+// Evaluator computes error-detection properties of one generator
+// polynomial. It caches the syndrome table and period across queries and is
+// not safe for concurrent use; create one evaluator per goroutine.
+type Evaluator struct {
+	p      poly.P
+	width  int
+	normal uint32 // generator sans x^w term
+	mask   uint32 // width-bit mask
+	topBit uint32
+
+	syn []uint32 // syn[i] = x^i mod G
+
+	period    uint64
+	periodErr error
+	periodSet bool
+
+	bitmap []uint64 // lazily allocated 2^width-bit scratch set
+
+	bruteBudget int64 // per-call probe budget of the brute engine
+
+	opts  Options
+	Stats Stats
+}
+
+// New returns an evaluator for the polynomial.
+func New(p poly.P, opts ...Option) *Evaluator {
+	o := Options{
+		MaxStoreEntries: DefaultMaxStoreEntries,
+		MaxPairBuffer:   DefaultMaxPairBuffer,
+		MaxProbes:       DefaultMaxProbes,
+	}
+	for _, fn := range opts {
+		fn(&o)
+	}
+	w := p.Width()
+	mask := ^uint32(0)
+	if w < 32 {
+		mask = 1<<uint(w) - 1
+	}
+	return &Evaluator{
+		p:      p,
+		width:  w,
+		normal: uint32(p.Normal()),
+		mask:   mask,
+		topBit: 1 << uint(w-1),
+		syn:    []uint32{1}, // x^0 mod G = 1 (deg G >= 1)
+		opts:   o,
+	}
+}
+
+// Poly returns the polynomial under evaluation.
+func (e *Evaluator) Poly() poly.P { return e.p }
+
+// Width returns the CRC width.
+func (e *Evaluator) Width() int { return e.width }
+
+// step advances a syndrome by one position: s -> x*s mod G.
+func (e *Evaluator) step(s uint32) uint32 {
+	top := s & e.topBit
+	s = (s << 1) & e.mask
+	if top != 0 {
+		s ^= e.normal
+	}
+	return s
+}
+
+// syndromes returns the syndrome table extended to at least n entries.
+func (e *Evaluator) syndromes(n int) []uint32 {
+	for len(e.syn) < n {
+		e.syn = append(e.syn, e.step(e.syn[len(e.syn)-1]))
+	}
+	return e.syn[:n]
+}
+
+// Period returns ord(x) mod G — the codeword length at which 2-bit errors
+// first become undetectable is Period()+1.
+func (e *Evaluator) Period() (uint64, error) {
+	if !e.periodSet {
+		e.period, e.periodErr = e.p.Period()
+		e.periodSet = true
+	}
+	if e.periodErr != nil {
+		return 0, fmt.Errorf("period of %v: %w", e.p, e.periodErr)
+	}
+	return e.period, nil
+}
+
+// codewordLen converts a data-word length to the total codeword length.
+func (e *Evaluator) codewordLen(dataLen int) int { return dataLen + e.width }
+
+// dataLenFor converts the maximum position of a canonical pattern into the
+// smallest data-word length whose codeword can contain it.
+func (e *Evaluator) dataLenFor(maxPos int) int {
+	n := maxPos + 1 - e.width
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// bitset returns the scratch bitmap covering all 2^width syndromes,
+// cleared.
+func (e *Evaluator) bitset() []uint64 {
+	words := 1
+	if e.width >= 6 {
+		words = 1 << uint(e.width-6)
+	}
+	if cap(e.bitmap) < words {
+		e.bitmap = make([]uint64, words)
+		return e.bitmap
+	}
+	e.bitmap = e.bitmap[:words]
+	clear(e.bitmap)
+	return e.bitmap
+}

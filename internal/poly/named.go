@@ -1,0 +1,77 @@
+package poly
+
+// Named polynomials. The 32-bit entries are the eight polynomials of the
+// paper's Table 1 plus the misprinted Castagnoli value discussed in §3;
+// smaller widths are the standards used for validation (§4.5).
+var (
+	// IEEE8023 is the IEEE 802.3 (Ethernet) CRC-32, Koopman 0x82608EDB,
+	// normal 0x04C11DB7.
+	IEEE8023 = MustKoopman(32, 0x82608EDB)
+
+	// CastagnoliISCSI is Castagnoli's {1,31} polynomial 0x8F6E37A0
+	// (normal 0x1EDC6F41), recommended by Sheinwald et al. for iSCSI and
+	// standardized as CRC-32C.
+	CastagnoliISCSI = MustKoopman(32, 0x8F6E37A0)
+
+	// Koopman32K is the paper's new {1,3,28} polynomial 0xBA0DC66B with
+	// HD=6 to 16360 bits and HD=4 to 114663 bits.
+	Koopman32K = MustKoopman(32, 0xBA0DC66B)
+
+	// Castagnoli1131515 is Castagnoli's optimal {1,1,15,15} polynomial
+	// 0xFA567D89 (full form 0x1F4ACFB13), HD=6 to almost 32K bits.
+	Castagnoli1131515 = MustKoopman(32, 0xFA567D89)
+
+	// CastagnoliMisprint is the value actually printed in Table XI of
+	// Castagnoli 1993 (1F6ACFB13): a one-bit transcription error from the
+	// intended 1F4ACFB13. The paper shows it achieves HD=6 only to 382 bits.
+	CastagnoliMisprint = MustKoopman(32, 0xFB567D89)
+
+	// Koopman1130 is the {1,1,30} polynomial 0x992C1A4C characterized in
+	// the paper; per the 2014 errata it has HD=6 through 32738 bits.
+	Koopman1130 = MustKoopman(32, 0x992C1A4C)
+
+	// KoopmanSparse6 is 0x90022004, the polynomial with the fewest non-zero
+	// coefficients (five) attaining HD=6 to almost 32K bits.
+	KoopmanSparse6 = MustKoopman(32, 0x90022004)
+
+	// CastagnoliHD5 is Castagnoli's irreducible {32} polynomial 0xD419CC15
+	// with HD=5 to almost 64K bits.
+	CastagnoliHD5 = MustKoopman(32, 0xD419CC15)
+
+	// KoopmanSparse5 is 0x80108400, the minimum-weight polynomial achieving
+	// HD=5 up to nearly 64K bits.
+	KoopmanSparse5 = MustKoopman(32, 0x80108400)
+
+	// CCITT16 is the CRC-16/CCITT generator x^16+x^12+x^5+1.
+	CCITT16 = MustKoopman(16, 0x8810)
+
+	// ARC16 is the CRC-16/ARC ("CRC-16/IBM") generator x^16+x^15+x^2+1.
+	ARC16 = MustKoopman(16, 0xC002)
+
+	// ATM8 is the CRC-8/ATM HEC generator x^8+x^2+x+1.
+	ATM8 = MustKoopman(8, 0x83)
+
+	// DARC8 is the CRC-8/DARC generator x^8+x^5+x^4+x^3+1 (normal 0x39).
+	DARC8 = MustKoopman(8, 0x9C)
+)
+
+// NamedPoly pairs a polynomial with the label used in the paper's tables.
+type NamedPoly struct {
+	Label string
+	P     P
+}
+
+// Table1 returns the eight polynomials of the paper's Table 1 / Figure 1 in
+// column order.
+func Table1() []NamedPoly {
+	return []NamedPoly{
+		{"IEEE 802.3", IEEE8023},
+		{"Castagnoli (iSCSI)", CastagnoliISCSI},
+		{"Koopman {1,3,28}", Koopman32K},
+		{"Castagnoli {1,1,15,15}", Castagnoli1131515},
+		{"Koopman {1,1,30}", Koopman1130},
+		{"Koopman 0x90022004", KoopmanSparse6},
+		{"Castagnoli {32}", CastagnoliHD5},
+		{"Koopman 0x80108400", KoopmanSparse5},
+	}
+}

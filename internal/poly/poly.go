@@ -1,0 +1,260 @@
+// Package poly defines the CRC generator polynomial representations used
+// throughout the repository and the conversions between them.
+//
+// A width-r CRC generator is a degree-r polynomial over GF(2) with non-zero
+// constant term. Four representations are in common use:
+//
+//   - Koopman: an r-bit integer whose bit i holds the coefficient of
+//     x^(i+1); the +1 term is implicit and the top bit (x^r) is explicit.
+//     This is the paper's notation (0x82608EDB for the 802.3 CRC).
+//   - Normal (MSB-first): an r-bit integer whose bit i holds the coefficient
+//     of x^i; the x^r term is implicit (0x04C11DB7 for the 802.3 CRC).
+//   - Reversed (LSB-first): the bit-reversal of the normal form, used by
+//     reflected implementations such as hash/crc32 (0xEDB88320).
+//   - Full: the explicit (r+1)-bit polynomial (0x104C11DB7).
+package poly
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"koopmancrc/internal/gf2"
+)
+
+// Notation identifies a polynomial encoding convention.
+type Notation int
+
+// Supported notations.
+const (
+	Koopman Notation = iota + 1
+	Normal
+	Reversed
+	Full
+)
+
+// String returns the notation name.
+func (n Notation) String() string {
+	switch n {
+	case Koopman:
+		return "koopman"
+	case Normal:
+		return "normal"
+	case Reversed:
+		return "reversed"
+	case Full:
+		return "full"
+	default:
+		return fmt.Sprintf("Notation(%d)", int(n))
+	}
+}
+
+// P is a CRC generator polynomial of a given width. The zero value is
+// invalid; construct with FromKoopman and friends.
+type P struct {
+	width   int    // CRC width r (degree of the generator), 1..32
+	koopman uint64 // Koopman representation, top bit always set
+}
+
+// FromKoopman builds a polynomial from the paper's representation. The top
+// bit (coefficient of x^width) must be set, which is exactly the condition
+// that the generator has degree width.
+func FromKoopman(width int, k uint64) (P, error) {
+	if width < 1 || width > 32 {
+		return P{}, fmt.Errorf("poly: unsupported width %d", width)
+	}
+	if k>>(uint(width)-1) != 1 {
+		return P{}, fmt.Errorf("poly: %#x does not encode a degree-%d generator (top bit clear or overflow)", k, width)
+	}
+	return P{width: width, koopman: k}, nil
+}
+
+// MustKoopman is FromKoopman for known-good constants; it panics on error.
+func MustKoopman(width int, k uint64) P {
+	p, err := FromKoopman(width, k)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// FromNormal builds a polynomial from the normal (MSB-first, implicit x^r)
+// representation. The constant term (+1) must be present.
+func FromNormal(width int, n uint64) (P, error) {
+	if width < 1 || width > 32 {
+		return P{}, fmt.Errorf("poly: unsupported width %d", width)
+	}
+	if n&1 == 0 {
+		return P{}, fmt.Errorf("poly: normal form %#x has zero constant term", n)
+	}
+	if width < 64 && n>>uint(width) != 0 {
+		return P{}, fmt.Errorf("poly: normal form %#x overflows width %d", n, width)
+	}
+	full := n | 1<<uint(width)
+	return P{width: width, koopman: full >> 1}, nil
+}
+
+// FromReversed builds a polynomial from the reflected (LSB-first)
+// representation used by hash/crc32.
+func FromReversed(width int, r uint64) (P, error) {
+	n := uint64(gf2.Reverse(gf2.Poly(r), width))
+	return FromNormal(width, n)
+}
+
+// FromFull builds a polynomial from the explicit (width+1)-bit form.
+func FromFull(full gf2.Poly) (P, error) {
+	d := full.Deg()
+	if d < 1 || d > 32 {
+		return P{}, fmt.Errorf("poly: full form %#x has unsupported degree %d", uint64(full), d)
+	}
+	if full&1 == 0 {
+		return P{}, fmt.Errorf("poly: full form %#x has zero constant term", uint64(full))
+	}
+	return P{width: d, koopman: uint64(full) >> 1}, nil
+}
+
+// Width returns the CRC width r (the generator degree).
+func (p P) Width() int { return p.width }
+
+// Koopman returns the paper's representation.
+func (p P) Koopman() uint64 { return p.koopman }
+
+// Full returns the explicit polynomial.
+func (p P) Full() gf2.Poly { return gf2.Poly(p.koopman<<1 | 1) }
+
+// Normal returns the MSB-first representation with implicit x^r term.
+func (p P) Normal() uint64 { return uint64(p.Full()) &^ (1 << uint(p.width)) }
+
+// Reversed returns the LSB-first (reflected) representation.
+func (p P) Reversed() uint64 { return uint64(gf2.Reverse(gf2.Poly(p.Normal()), p.width)) }
+
+// In returns the representation of p in the given notation.
+func (p P) In(n Notation) uint64 {
+	switch n {
+	case Koopman:
+		return p.Koopman()
+	case Normal:
+		return p.Normal()
+	case Reversed:
+		return p.Reversed()
+	case Full:
+		return uint64(p.Full())
+	default:
+		return 0
+	}
+}
+
+// IsZero reports whether p is the invalid zero value.
+func (p P) IsZero() bool { return p.width == 0 }
+
+// String formats the polynomial as its Koopman hex form, e.g. "0xBA0DC66B".
+func (p P) String() string {
+	digits := (p.width + 3) / 4
+	return fmt.Sprintf("0x%0*X", digits, p.koopman)
+}
+
+// Reciprocal returns the reciprocal polynomial (coefficients reversed).
+// CRC error-detection performance is identical for reciprocal pairs, which
+// is what halves the paper's search space.
+func (p P) Reciprocal() P {
+	full := gf2.Reciprocal(p.Full())
+	return P{width: p.width, koopman: uint64(full) >> 1}
+}
+
+// IsPalindrome reports whether p is self-reciprocal. Palindromic generators
+// are the reason the 32-bit design space has slightly more than 2^30
+// members after reciprocal deduplication.
+func (p P) IsPalindrome() bool { return p == p.Reciprocal() }
+
+// Terms returns the exponents with non-zero coefficients, descending, e.g.
+// [32 26 23 ... 1 0] for the 802.3 generator.
+func (p P) Terms() []int {
+	full := p.Full()
+	var out []int
+	for i := p.width; i >= 0; i-- {
+		if full&(1<<uint(i)) != 0 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// AlgebraicString renders the polynomial as "x^32 + x^26 + ... + x + 1".
+func (p P) AlgebraicString() string {
+	var b strings.Builder
+	for i, e := range p.Terms() {
+		if i > 0 {
+			b.WriteString(" + ")
+		}
+		switch e {
+		case 0:
+			b.WriteString("1")
+		case 1:
+			b.WriteString("x")
+		default:
+			b.WriteString("x^")
+			b.WriteString(strconv.Itoa(e))
+		}
+	}
+	return b.String()
+}
+
+// Factorize returns the irreducible factorization of the generator.
+func (p P) Factorize() ([]gf2.Factor, error) {
+	return gf2.Factorize(p.Full())
+}
+
+// Shape returns the paper's factorization-class notation, e.g. "{1,3,28}".
+func (p P) Shape() (string, error) {
+	factors, err := p.Factorize()
+	if err != nil {
+		return "", err
+	}
+	return ShapeString(gf2.Shape(factors)), nil
+}
+
+// ShapeString formats a sorted degree multiset as the paper's notation.
+func ShapeString(degrees []int) string {
+	parts := make([]string, len(degrees))
+	for i, d := range degrees {
+		parts[i] = strconv.Itoa(d)
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// DivisibleByXPlus1 reports whether (x+1) divides the generator — the
+// implicit-parity property shared, per the paper, by every polynomial with
+// HD=6 at MTU length.
+func (p P) DivisibleByXPlus1() bool {
+	return gf2.Mod(p.Full(), gf2.XPlus1) == 0
+}
+
+// Period returns ord(x) modulo the generator: the maximum codeword length
+// (in bits) at which all 2-bit errors are still detected is Period()+1...
+// precisely, the first undetectable 2-bit error spans positions {0, Period()}
+// and therefore needs a codeword of Period()+1 bits.
+func (p P) Period() (uint64, error) {
+	return gf2.OrderOfX(p.Full())
+}
+
+// Parse reads a polynomial written as hex (0x-prefixed or bare) in the given
+// notation and width.
+func Parse(width int, notation Notation, s string) (P, error) {
+	s = strings.TrimPrefix(strings.TrimSpace(strings.ToLower(s)), "0x")
+	v, err := strconv.ParseUint(s, 16, 64)
+	if err != nil {
+		return P{}, fmt.Errorf("poly: parse %q: %w", s, err)
+	}
+	switch notation {
+	case Koopman:
+		return FromKoopman(width, v)
+	case Normal:
+		return FromNormal(width, v)
+	case Reversed:
+		return FromReversed(width, v)
+	case Full:
+		return FromFull(gf2.Poly(v))
+	default:
+		return P{}, fmt.Errorf("poly: unknown notation %v", notation)
+	}
+}

@@ -1,0 +1,295 @@
+package poly
+
+import (
+	"math/rand/v2"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"koopmancrc/internal/gf2"
+)
+
+func TestRepresentations8023(t *testing.T) {
+	// The classic CRC-32 in all four notations.
+	p := IEEE8023
+	if got := p.Koopman(); got != 0x82608EDB {
+		t.Errorf("Koopman = %#x", got)
+	}
+	if got := p.Normal(); got != 0x04C11DB7 {
+		t.Errorf("Normal = %#x, want 0x04C11DB7", got)
+	}
+	if got := p.Reversed(); got != 0xEDB88320 {
+		t.Errorf("Reversed = %#x, want 0xEDB88320", got)
+	}
+	if got := p.Full(); got != 0x104C11DB7 {
+		t.Errorf("Full = %#x, want 0x104C11DB7", uint64(got))
+	}
+}
+
+func TestRepresentationsCRC32C(t *testing.T) {
+	p := CastagnoliISCSI
+	if got := p.Normal(); got != 0x1EDC6F41 {
+		t.Errorf("Normal = %#x, want 0x1EDC6F41 (CRC-32C)", got)
+	}
+	if got := p.Reversed(); got != 0x82F63B78 {
+		t.Errorf("Reversed = %#x, want 0x82F63B78 (hash/crc32 Castagnoli)", got)
+	}
+}
+
+func TestKoopman32KMatchesStdlibConstant(t *testing.T) {
+	// hash/crc32 exposes Koopman == 0xEB31D82E (reversed); that constant is
+	// exactly the paper's 0xBA0DC66B.
+	if got := Koopman32K.Reversed(); got != 0xEB31D82E {
+		t.Errorf("Reversed = %#x, want 0xEB31D82E", got)
+	}
+}
+
+func TestCastagnoliFullForms(t *testing.T) {
+	if got := Castagnoli1131515.Full(); got != 0x1F4ACFB13 {
+		t.Errorf("Full = %#x, want 0x1F4ACFB13 (corrected Castagnoli value)", uint64(got))
+	}
+	if got := CastagnoliMisprint.Full(); got != 0x1F6ACFB13 {
+		t.Errorf("Full = %#x, want 0x1F6ACFB13 (as misprinted)", uint64(got))
+	}
+}
+
+func TestCCITT16(t *testing.T) {
+	if got := CCITT16.Normal(); got != 0x1021 {
+		t.Errorf("Normal = %#x, want 0x1021", got)
+	}
+	if got := CCITT16.Full(); got != 0x11021 {
+		t.Errorf("Full = %#x, want 0x11021", uint64(got))
+	}
+}
+
+func TestConversionRoundTrips(t *testing.T) {
+	f := func(k uint32) bool {
+		p, err := FromKoopman(32, uint64(k)|1<<31)
+		if err != nil {
+			return false
+		}
+		n, err := FromNormal(32, p.Normal())
+		if err != nil || n != p {
+			return false
+		}
+		r, err := FromReversed(32, p.Reversed())
+		if err != nil || r != p {
+			return false
+		}
+		fu, err := FromFull(p.Full())
+		return err == nil && fu == p
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConversionRoundTripsNarrowWidths(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	for _, w := range []int{3, 8, 15, 16, 24, 31} {
+		for i := 0; i < 200; i++ {
+			k := rng.Uint64N(1<<uint(w)) | 1<<uint(w-1)
+			p, err := FromKoopman(w, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if q, err := FromNormal(w, p.Normal()); err != nil || q != p {
+				t.Fatalf("width %d normal round trip failed for %v", w, p)
+			}
+			if q, err := FromReversed(w, p.Reversed()); err != nil || q != p {
+				t.Fatalf("width %d reversed round trip failed for %v", w, p)
+			}
+		}
+	}
+}
+
+func TestFromKoopmanValidation(t *testing.T) {
+	if _, err := FromKoopman(32, 0x7FFFFFFF); err == nil {
+		t.Error("expected error: top bit clear")
+	}
+	if _, err := FromKoopman(32, 0x1FFFFFFFF); err == nil {
+		t.Error("expected error: overflow")
+	}
+	if _, err := FromKoopman(0, 1); err == nil {
+		t.Error("expected error: width 0")
+	}
+	if _, err := FromKoopman(33, 1<<32); err == nil {
+		t.Error("expected error: width 33")
+	}
+}
+
+func TestFromNormalValidation(t *testing.T) {
+	if _, err := FromNormal(32, 0x04C11DB6); err == nil {
+		t.Error("expected error: even constant term")
+	}
+}
+
+func TestReciprocal(t *testing.T) {
+	// Reciprocal of the 802.3 polynomial: full form bit-reversed.
+	r := IEEE8023.Reciprocal()
+	if r.Width() != 32 {
+		t.Fatalf("width = %d", r.Width())
+	}
+	want := gf2.Reciprocal(IEEE8023.Full())
+	if r.Full() != want {
+		t.Errorf("Reciprocal().Full() = %#x, want %#x", uint64(r.Full()), uint64(want))
+	}
+	if got := r.Reciprocal(); got != IEEE8023 {
+		t.Errorf("double reciprocal = %v", got)
+	}
+}
+
+func TestReciprocalProperty(t *testing.T) {
+	f := func(k uint32) bool {
+		p, err := FromKoopman(32, uint64(k)|1<<31)
+		if err != nil {
+			return false
+		}
+		r := p.Reciprocal()
+		// Reciprocal preserves width and term count and is an involution.
+		return r.Width() == 32 && len(r.Terms()) == len(p.Terms()) && r.Reciprocal() == p
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIsPalindrome(t *testing.T) {
+	// x^2+x+1 -> full 0x7, palindrome.
+	p := MustKoopman(2, 0x3)
+	if !p.IsPalindrome() {
+		t.Error("x^2+x+1 should be a palindrome")
+	}
+	if IEEE8023.IsPalindrome() {
+		t.Error("802.3 generator is not a palindrome")
+	}
+}
+
+func TestTermsAndAlgebraicString(t *testing.T) {
+	p := CCITT16
+	wantTerms := []int{16, 12, 5, 0}
+	if got := p.Terms(); !reflect.DeepEqual(got, wantTerms) {
+		t.Errorf("Terms = %v, want %v", got, wantTerms)
+	}
+	if got := p.AlgebraicString(); got != "x^16 + x^12 + x^5 + 1" {
+		t.Errorf("AlgebraicString = %q", got)
+	}
+	if got := IEEE8023.AlgebraicString(); got != "x^32 + x^26 + x^23 + x^22 + x^16 + x^12 + x^11 + x^10 + x^8 + x^7 + x^5 + x^4 + x^2 + x + 1" {
+		t.Errorf("802.3 AlgebraicString = %q", got)
+	}
+}
+
+func TestShape(t *testing.T) {
+	tests := []struct {
+		p    P
+		want string
+	}{
+		{IEEE8023, "{32}"},
+		{CastagnoliISCSI, "{1,31}"},
+		{Koopman32K, "{1,3,28}"},
+		{Castagnoli1131515, "{1,1,15,15}"},
+		{Koopman1130, "{1,1,30}"},
+		{KoopmanSparse6, "{1,1,30}"},
+		{CastagnoliHD5, "{32}"},
+		{KoopmanSparse5, "{32}"},
+		{CCITT16, "{1,15}"},
+	}
+	for _, tt := range tests {
+		got, err := tt.p.Shape()
+		if err != nil {
+			t.Fatalf("%v: %v", tt.p, err)
+		}
+		if got != tt.want {
+			t.Errorf("Shape(%v) = %s, want %s", tt.p, got, tt.want)
+		}
+	}
+}
+
+func TestDivisibleByXPlus1(t *testing.T) {
+	tests := []struct {
+		p    P
+		want bool
+	}{
+		{IEEE8023, false},
+		{CastagnoliISCSI, true},
+		{Koopman32K, true},
+		{Castagnoli1131515, true},
+		{Koopman1130, true},
+		{KoopmanSparse6, true},
+		{CastagnoliHD5, false},
+		{KoopmanSparse5, false},
+	}
+	for _, tt := range tests {
+		if got := tt.p.DivisibleByXPlus1(); got != tt.want {
+			t.Errorf("DivisibleByXPlus1(%v) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := Koopman32K.String(); got != "0xBA0DC66B" {
+		t.Errorf("String = %q", got)
+	}
+	if got := ATM8.String(); got != "0x83" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestParse(t *testing.T) {
+	tests := []struct {
+		s        string
+		width    int
+		notation Notation
+		want     P
+	}{
+		{"0xBA0DC66B", 32, Koopman, Koopman32K},
+		{"ba0dc66b", 32, Koopman, Koopman32K},
+		{"0x04C11DB7", 32, Normal, IEEE8023},
+		{"0xEDB88320", 32, Reversed, IEEE8023},
+		{"0x104C11DB7", 32, Full, IEEE8023},
+		{"0x8810", 16, Koopman, CCITT16},
+	}
+	for _, tt := range tests {
+		got, err := Parse(tt.width, tt.notation, tt.s)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", tt.s, err)
+			continue
+		}
+		if got != tt.want {
+			t.Errorf("Parse(%q) = %v, want %v", tt.s, got, tt.want)
+		}
+	}
+	if _, err := Parse(32, Koopman, "zz"); err == nil {
+		t.Error("expected parse error")
+	}
+	if _, err := Parse(32, Notation(99), "0x1"); err == nil {
+		t.Error("expected unknown notation error")
+	}
+}
+
+func TestTable1Completeness(t *testing.T) {
+	cols := Table1()
+	if len(cols) != 8 {
+		t.Fatalf("Table1 has %d columns, want 8", len(cols))
+	}
+	seen := make(map[uint64]bool)
+	for _, c := range cols {
+		if c.P.Width() != 32 {
+			t.Errorf("%s: width %d", c.Label, c.P.Width())
+		}
+		if seen[c.P.Koopman()] {
+			t.Errorf("%s: duplicate polynomial", c.Label)
+		}
+		seen[c.P.Koopman()] = true
+	}
+}
+
+func TestNotationString(t *testing.T) {
+	for n, want := range map[Notation]string{
+		Koopman: "koopman", Normal: "normal", Reversed: "reversed", Full: "full",
+	} {
+		if got := n.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(n), got, want)
+		}
+	}
+}

@@ -1,0 +1,362 @@
+// Package koopmancrc is a library for selecting, evaluating and using
+// 32-bit (and narrower) CRC polynomials, reproducing Koopman, "32-Bit
+// Cyclic Redundancy Codes for Internet Applications" (DSN 2002).
+//
+// It answers the three questions the paper poses:
+//
+//   - How good is a CRC polynomial? Evaluate computes exact Hamming
+//     distance bands (Table 1 / Figure 1) and undetectable-error weights.
+//   - Which polynomial should a new protocol adopt? SelectPolynomial ranks
+//     candidates for a target message length, reproducing the paper's §4.3
+//     iSCSI recommendation of 0xBA0DC66B.
+//   - Are there better polynomials out there? Search filters slices of the
+//     full design space with the paper's §4.1 optimisations (see
+//     internal/dist for the multi-machine version).
+//
+// Checksum computation itself is provided through the Checksum and
+// NewEngine helpers (bitwise, table-driven and slicing-by-8 engines,
+// validated against hash/crc32).
+package koopmancrc
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"koopmancrc/internal/core"
+	"koopmancrc/internal/crc"
+	"koopmancrc/internal/errmodel"
+	"koopmancrc/internal/hamming"
+	"koopmancrc/internal/poly"
+)
+
+// Polynomial is a CRC generator polynomial (width plus coefficient set),
+// convertible between Koopman, normal, reversed and full notations.
+type Polynomial = poly.P
+
+// Notation names a polynomial encoding (see ParsePolynomial).
+type Notation = poly.Notation
+
+// Supported notations.
+const (
+	Koopman  = poly.Koopman
+	Normal   = poly.Normal
+	Reversed = poly.Reversed
+	Full     = poly.Full
+)
+
+// The paper's Table 1 polynomials.
+var (
+	IEEE8023          = poly.IEEE8023
+	CastagnoliISCSI   = poly.CastagnoliISCSI
+	Koopman32K        = poly.Koopman32K
+	Castagnoli1131515 = poly.Castagnoli1131515
+	Koopman1130       = poly.Koopman1130
+	KoopmanSparse6    = poly.KoopmanSparse6
+	CastagnoliHD5     = poly.CastagnoliHD5
+	KoopmanSparse5    = poly.KoopmanSparse5
+)
+
+// Table1Polynomials returns the eight polynomials characterised in the
+// paper's Table 1 and Figure 1, in column order.
+func Table1Polynomials() []Polynomial {
+	cols := poly.Table1()
+	out := make([]Polynomial, len(cols))
+	for i, c := range cols {
+		out[i] = c.P
+	}
+	return out
+}
+
+// ParsePolynomial reads a polynomial from hex text in the given notation,
+// e.g. ParsePolynomial(32, Koopman, "0xBA0DC66B").
+func ParsePolynomial(width int, n Notation, s string) (Polynomial, error) {
+	return poly.Parse(width, n, s)
+}
+
+// MustPolynomial is ParsePolynomial for known-good constants.
+func MustPolynomial(width int, n Notation, s string) Polynomial {
+	p, err := poly.Parse(width, n, s)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Band is a range of data-word lengths (bits, inclusive) sharing a Hamming
+// distance.
+type Band = hamming.Band
+
+// Report is the evaluation of one polynomial: its HD bands up to MaxLen
+// and the weight boundaries behind them.
+type Report struct {
+	Poly        Polynomial
+	MaxLen      int
+	Bands       []Band
+	Transitions []hamming.Transition
+	Shape       string
+	Period      uint64 // 0 if the period exceeds practical computation
+	ParityBit   bool   // divisible by (x+1): all odd-weight errors caught
+}
+
+// HDAt returns the report's Hamming distance at a length (atLeast is true
+// when the profile depth truncated the answer).
+func (r *Report) HDAt(dataLen int) (hd int, atLeast bool, ok bool) {
+	for _, b := range r.Bands {
+		if dataLen >= b.From && dataLen <= b.To {
+			return b.HD, b.AtLeast, true
+		}
+	}
+	return 0, false, false
+}
+
+// MaxLenAtHD returns the largest length guaranteeing at least hd.
+func (r *Report) MaxLenAtHD(hd int) (int, bool) {
+	best := 0
+	for _, b := range r.Bands {
+		if b.HD >= hd && b.To > best {
+			best = b.To
+		}
+	}
+	return best, best > 0
+}
+
+// EvaluateOptions tune Evaluate.
+type EvaluateOptions struct {
+	// MaxHD bounds the classified Hamming distances (default 13).
+	MaxHD int
+}
+
+// Evaluate computes the full HD-vs-length profile of a polynomial up to
+// maxLen data bits — one column of the paper's Table 1. Cost grows with
+// the polynomial's weight-4 boundary; the full 131072-bit evaluation of a
+// Table 1 polynomial takes seconds to about a minute.
+func Evaluate(p Polynomial, maxLen int, opts *EvaluateOptions) (*Report, error) {
+	maxHD := 13
+	if opts != nil && opts.MaxHD >= 2 {
+		maxHD = opts.MaxHD
+	}
+	ev := hamming.New(p)
+	prof, err := ev.Profile(maxLen, maxHD)
+	if err != nil {
+		return nil, fmt.Errorf("evaluate %v: %w", p, err)
+	}
+	shape, err := p.Shape()
+	if err != nil {
+		return nil, err
+	}
+	period, _ := p.Period() // period can exceed uint64-practical ranges only on error
+	return &Report{
+		Poly:        p,
+		MaxLen:      maxLen,
+		Bands:       prof.Bands,
+		Transitions: prof.Transitions,
+		Shape:       shape,
+		Period:      period,
+		ParityBit:   p.DivisibleByXPlus1(),
+	}, nil
+}
+
+// HammingDistanceAt returns the exact Hamming distance of the polynomial
+// at one data-word length (searching weights up to maxHD; exact=false
+// means the true HD exceeds maxHD).
+func HammingDistanceAt(p Polynomial, dataLen, maxHD int) (hd int, exact bool, err error) {
+	return hamming.New(p).HDAt(dataLen, maxHD)
+}
+
+// UndetectableWeight returns the exact number of undetectable w-bit error
+// patterns at a data-word length (w <= 4), e.g. 223059 for the 802.3
+// polynomial with w=4 at 12112 bits.
+func UndetectableWeight(p Polynomial, w, dataLen int) (uint64, error) {
+	return hamming.New(p).Weight(w, dataLen)
+}
+
+// UndetectableWitness returns one undetectable error pattern of exactly w
+// bits at the given length, as codeword bit positions (position 0 = last
+// transmitted bit).
+func UndetectableWitness(p Polynomial, w, dataLen int) (positions []int, found bool, err error) {
+	return hamming.New(p).Exists(w, dataLen)
+}
+
+// Selection scores one candidate for SelectPolynomial.
+type Selection struct {
+	Poly Polynomial
+	// HD is the Hamming distance at the target length.
+	HD int
+	// CoverageAtHD is the largest length keeping that HD.
+	CoverageAtHD int
+}
+
+// SelectPolynomial ranks candidates for protecting messages of the given
+// data-word length: highest HD at that length first, ties broken by how
+// far the HD extends (the paper's argument for 0xBA0DC66B over 0x8F6E37A0
+// at iSCSI lengths). It returns the ranking, best first.
+//
+// Coverage is explored up to four times the target length; a candidate
+// whose HD persists beyond that horizon reports CoverageAtHD equal to the
+// horizon.
+func SelectPolynomial(candidates []Polynomial, dataLen, maxHD int) ([]Selection, error) {
+	if len(candidates) == 0 {
+		return nil, fmt.Errorf("koopmancrc: no candidates")
+	}
+	out := make([]Selection, 0, len(candidates))
+	horizon := 4 * dataLen
+	for _, p := range candidates {
+		ev := hamming.New(p)
+		hd, _, err := ev.HDAt(dataLen, maxHD)
+		if err != nil {
+			return nil, fmt.Errorf("select: %v: %w", p, err)
+		}
+		// Coverage is the length just before the earliest boundary past
+		// dataLen among weights <= hd. Searching weights in ascending
+		// order with a shrinking limit keeps each boundary scan bounded by
+		// boundaries already found (as in Profile).
+		limit := horizon
+		for w := 2; w <= hd && limit > dataLen; w++ {
+			first, _, found, err := ev.FirstDataLen(w, limit)
+			if err != nil {
+				return nil, err
+			}
+			if found && first > dataLen && first-1 < limit {
+				limit = first - 1
+			}
+		}
+		out = append(out, Selection{Poly: p, HD: hd, CoverageAtHD: limit})
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].HD != out[j].HD {
+			return out[i].HD > out[j].HD
+		}
+		return out[i].CoverageAtHD > out[j].CoverageAtHD
+	})
+	return out, nil
+}
+
+// SearchConfig describes a design-space search (see the paper's §4).
+type SearchConfig struct {
+	// Width of the polynomials to search (2..32).
+	Width int
+	// MinHD is the Hamming distance to demand.
+	MinHD int
+	// Lengths is the increasing-length filter schedule; the last entry is
+	// the target length.
+	Lengths []int
+	// StartIdx and EndIdx bound the raw index slice to search;
+	// EndIdx 0 means the whole space (feasible for width <= ~20).
+	StartIdx, EndIdx uint64
+}
+
+// SearchResult is the outcome of a Search.
+type SearchResult struct {
+	// Survivors pass the HD filter at every scheduled length.
+	Survivors []Polynomial
+	// Candidates is the number of canonical polynomials evaluated.
+	Candidates uint64
+	// PolysPerSecond is the filter throughput (the paper's §4.2 metric).
+	PolysPerSecond float64
+	// CensusByShape counts survivors per factorization class (Table 2).
+	CensusByShape map[string]int
+}
+
+// Search filters a slice of the design space, reproducing the paper's
+// search pipeline on a single machine. For the distributed version see
+// internal/dist and cmd/crcsearch.
+func Search(ctx context.Context, cfg SearchConfig) (*SearchResult, error) {
+	space, err := core.NewSpace(cfg.Width)
+	if err != nil {
+		return nil, err
+	}
+	if len(cfg.Lengths) == 0 || cfg.MinHD < 2 {
+		return nil, fmt.Errorf("koopmancrc: search needs lengths and MinHD >= 2")
+	}
+	end := cfg.EndIdx
+	if end == 0 {
+		end = space.TotalPolynomials()
+	}
+	pl := &core.Pipeline{
+		Space:   space,
+		Filters: []core.Filter{core.HDFilter{Lengths: cfg.Lengths, MinHD: cfg.MinHD, Engine: core.EngineFast}},
+	}
+	res, err := pl.Run(ctx, cfg.StartIdx, end)
+	if err != nil {
+		return nil, err
+	}
+	census, err := core.Census(res.Survivors)
+	if err != nil {
+		return nil, err
+	}
+	return &SearchResult{
+		Survivors:      res.Survivors,
+		Candidates:     res.Canonical,
+		PolysPerSecond: res.Rate(),
+		CensusByShape:  census,
+	}, nil
+}
+
+// Checksum computes the CRC of data under a catalogued algorithm name
+// (e.g. "CRC-32/IEEE-802.3", "CRC-32C/iSCSI", "CRC-32K/Koopman").
+func Checksum(algorithm string, data []byte) (uint32, error) {
+	params, err := crc.Lookup(algorithm)
+	if err != nil {
+		return 0, err
+	}
+	return crc.New(params).Checksum(data), nil
+}
+
+// Algorithms lists the catalogued algorithm names.
+func Algorithms() []string {
+	cat := crc.Catalogue()
+	out := make([]string, len(cat))
+	for i, p := range cat {
+		out[i] = p.Name
+	}
+	return out
+}
+
+// Engine computes CRCs incrementally; obtain one from NewEngine.
+type Engine = crc.Engine
+
+// NewEngine returns a streaming engine for a catalogued algorithm.
+func NewEngine(algorithm string) (Engine, error) {
+	params, err := crc.Lookup(algorithm)
+	if err != nil {
+		return nil, err
+	}
+	return crc.New(params), nil
+}
+
+// PureChecksum computes the plain polynomial-remainder CRC (zero init, no
+// reflection, zero xor-out): data(x)*x^width mod G(x). This is the
+// convention under which Hamming-distance analysis holds bit-for-bit, used
+// by the frame helpers below.
+func PureChecksum(p Polynomial, data []byte) uint32 {
+	return crc.NewBitwise(crc.Pure(p)).Checksum(data)
+}
+
+// AppendFCS appends the pure FCS (big-endian, width/8 bytes) to payload,
+// returning the codeword frame. The width must be a multiple of 8.
+func AppendFCS(p Polynomial, payload []byte) ([]byte, error) {
+	w := p.Width()
+	if w%8 != 0 {
+		return nil, fmt.Errorf("koopmancrc: width %d is not byte-aligned", w)
+	}
+	fcs := PureChecksum(p, payload)
+	frame := append(append([]byte(nil), payload...), make([]byte, w/8)...)
+	for i := 0; i < w/8; i++ {
+		frame[len(payload)+i] = byte(fcs >> uint(8*(w/8-1-i)))
+	}
+	return frame, nil
+}
+
+// VerifyFCS reports whether frame (payload followed by its pure FCS) is an
+// error-free codeword: the remainder of the whole frame is zero.
+func VerifyFCS(p Polynomial, frame []byte) bool {
+	return PureChecksum(p, frame) == 0
+}
+
+// CorruptCodeword flips codeword bit positions in a frame produced by
+// AppendFCS. Positions use the polynomial convention of
+// UndetectableWitness: position 0 is the last transmitted bit.
+func CorruptCodeword(frame []byte, positions []int) error {
+	return errmodel.FlipCodewordPositions(frame, positions)
+}
