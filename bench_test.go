@@ -9,8 +9,10 @@ package koopmancrc
 
 import (
 	"context"
+	"fmt"
 	"hash/crc32"
 	"math/rand/v2"
+	"runtime"
 	"testing"
 
 	"koopmancrc/internal/core"
@@ -204,6 +206,47 @@ func BenchmarkInverseConfirmNoW5At8192(b *testing.B) {
 		if _, found, err := ev.Exists(5, 8192); err != nil || found {
 			b.Fatalf("%v %v", found, err)
 		}
+	}
+}
+
+// BenchmarkPipelineShardFanout measures the intra-machine worker-pool
+// fan-out against the old sequential path on a fixed slice of the
+// width-16 space: the sequential RunShard baseline, then Run at 1, 4 and
+// GOMAXPROCS workers. The 1-worker case bounds the refactor's overhead
+// (it degenerates to RunShard); the others track the multicore speedup
+// each dist worker also inherits.
+func BenchmarkPipelineShardFanout(b *testing.B) {
+	space, err := core.NewSpace(16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	filters := []core.Filter{core.HDFilter{
+		Lengths: []int{24, 64},
+		MinHD:   5,
+		Engine:  core.EngineFast,
+	}}
+	const start, end = 1024, 1024 + 4096
+	b.Run("sequential", func(b *testing.B) {
+		pl := &core.Pipeline{Space: space, Filters: filters}
+		for i := 0; i < b.N; i++ {
+			res, err := pl.RunShard(context.Background(), start, end)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(res.Rate(), "polys/s")
+		}
+	})
+	for _, workers := range []int{1, 4, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			pl := &core.Pipeline{Space: space, Filters: filters, Workers: workers}
+			for i := 0; i < b.N; i++ {
+				res, err := pl.Run(context.Background(), start, end)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(res.Rate(), "polys/s")
+			}
+		})
 	}
 }
 

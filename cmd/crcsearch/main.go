@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"koopmancrc"
+	"koopmancrc/internal/core"
 	"koopmancrc/internal/dist"
 )
 
@@ -40,6 +41,7 @@ func run(args []string) error {
 	id := fs.String("id", "worker", "worker id")
 	jobSize := fs.Uint64("jobsize", 4096, "raw indices per job (coord mode)")
 	lease := fs.Duration("lease", 30*time.Second, "job lease timeout (coord mode)")
+	par := fs.Int("parallelism", 0, "filter goroutines per machine, 0 = GOMAXPROCS (local and worker modes)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -49,11 +51,11 @@ func run(args []string) error {
 	}
 	switch *mode {
 	case "local":
-		return runLocal(*width, *minHD, sched, *startIdx, *endIdx)
+		return runLocal(*width, *minHD, sched, *startIdx, *endIdx, *par)
 	case "coord":
 		return runCoord(*listen, *width, *minHD, sched, *jobSize, *lease)
 	case "worker":
-		return runWorker(*connect, *id)
+		return runWorker(*connect, *id, *par)
 	default:
 		return fmt.Errorf("unknown mode %q", *mode)
 	}
@@ -71,9 +73,10 @@ func parseLengths(s string) ([]int, error) {
 	return out, nil
 }
 
-func runLocal(width, minHD int, lengths []int, start, end uint64) error {
+func runLocal(width, minHD int, lengths []int, start, end uint64, par int) error {
 	res, err := koopmancrc.Search(context.Background(), koopmancrc.SearchConfig{
 		Width: width, MinHD: minHD, Lengths: lengths, StartIdx: start, EndIdx: end,
+		Parallelism: par,
 	})
 	if err != nil {
 		return err
@@ -101,21 +104,24 @@ func runCoord(listen string, width, minHD int, lengths []int, jobSize uint64, le
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "jobs=%d requeues=%d\n", sum.Jobs, sum.Requeues)
-	census := map[string]int{}
-	for _, p := range sum.Survivors {
-		s, err := p.Shape()
-		if err != nil {
-			return err
-		}
-		census[s]++
+	census, err := core.Census(sum.Survivors)
+	if err != nil {
+		return err
 	}
-	printSummary(sum.Canonical, float64(sum.Canonical)/sum.Elapsed.Seconds(), sum.Survivors, census)
+	// Tiny spaces can complete in under the timer resolution; avoid a
+	// division by zero reporting +Inf polys/s.
+	rate := 0.0
+	if sum.Elapsed > 0 {
+		rate = float64(sum.Canonical) / sum.Elapsed.Seconds()
+	}
+	printSummary(sum.Canonical, rate, sum.Survivors, census)
 	return nil
 }
 
-func runWorker(connect, id string) error {
+func runWorker(connect, id string, par int) error {
 	w := dist.NewWorker(connect, dist.WorkerConfig{
-		ID: id,
+		ID:          id,
+		Parallelism: par,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		},

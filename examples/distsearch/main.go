@@ -13,6 +13,7 @@ import (
 	"sync"
 	"time"
 
+	"koopmancrc/internal/core"
 	"koopmancrc/internal/dist"
 )
 
@@ -33,7 +34,12 @@ func main() {
 
 	var wg sync.WaitGroup
 	for _, id := range []string{"alpha", "beta", "gamma"} {
-		w := dist.NewWorker(coord.Addr(), dist.WorkerConfig{ID: id})
+		// Each worker runs every job through the shared core.Pipeline
+		// engine with its own intra-machine fan-out. A real deployment
+		// runs one worker per machine with Parallelism 0 (= GOMAXPROCS)
+		// to saturate it; here three workers share one process, so a
+		// small fixed fan-out avoids oversubscribing the host.
+		w := dist.NewWorker(coord.Addr(), dist.WorkerConfig{ID: id, Parallelism: 2})
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -57,13 +63,9 @@ func main() {
 	fmt.Printf("\nevaluated %d canonical candidates across %d jobs (%d lease requeues)\n",
 		sum.Canonical, sum.Jobs, sum.Requeues)
 	fmt.Printf("survivors with HD>=%d at %d bits: %d\n", spec.MinHD, spec.Lengths[len(spec.Lengths)-1], len(sum.Survivors))
-	census := map[string]int{}
-	for _, p := range sum.Survivors {
-		s, err := p.Shape()
-		if err != nil {
-			log.Fatal(err)
-		}
-		census[s]++
+	census, err := core.Census(sum.Survivors)
+	if err != nil {
+		log.Fatal(err)
 	}
 	shapes := make([]string, 0, len(census))
 	for s := range census {

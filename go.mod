@@ -1,0 +1,3 @@
+module koopmancrc
+
+go 1.24

@@ -183,6 +183,128 @@ func TestPipelineStageStats(t *testing.T) {
 	}
 }
 
+func TestRunShardsMergeEqualsWholeRun(t *testing.T) {
+	// Any partition of the range, merged, must equal one sequential
+	// RunShard over the whole range — the invariant both the local
+	// worker pool and the dist coordinator rely on.
+	s, _ := NewSpace(8)
+	pl := &Pipeline{
+		Space:   s,
+		Filters: []Filter{HDFilter{Lengths: []int{9, 19}, MinHD: 4, Engine: EngineFast}},
+	}
+	whole, err := pl.RunShard(context.Background(), 0, s.TotalPolynomials())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var shards []*ShardResult
+	// Deliberately out-of-order shard completion.
+	for _, r := range [][2]uint64{{64, 101}, {0, 17}, {101, 128}, {17, 64}} {
+		sh, err := pl.RunShard(context.Background(), r[0], r[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		shards = append(shards, sh)
+	}
+	merged := Merge(shards...)
+	if merged.Start != 0 || merged.End != 128 {
+		t.Errorf("merged range [%d,%d), want [0,128)", merged.Start, merged.End)
+	}
+	if merged.Canonical != whole.Canonical {
+		t.Errorf("merged canonical %d, whole %d", merged.Canonical, whole.Canonical)
+	}
+	if len(merged.Survivors) != len(whole.Survivors) {
+		t.Fatalf("merged %d survivors, whole %d", len(merged.Survivors), len(whole.Survivors))
+	}
+	for i := range merged.Survivors {
+		if merged.Survivors[i] != whole.Survivors[i] {
+			t.Errorf("survivor %d: merged %v, whole %v", i, merged.Survivors[i], whole.Survivors[i])
+		}
+	}
+	if len(merged.Stages) != len(whole.Stages) {
+		t.Fatalf("merged %d stages, whole %d", len(merged.Stages), len(whole.Stages))
+	}
+	for i := range merged.Stages {
+		if merged.Stages[i].Name != whole.Stages[i].Name ||
+			merged.Stages[i].In != whole.Stages[i].In ||
+			merged.Stages[i].Out != whole.Stages[i].Out {
+			t.Errorf("stage %d: merged %+v, whole %+v", i, merged.Stages[i], whole.Stages[i])
+		}
+	}
+}
+
+func TestMergeEmptyAndNil(t *testing.T) {
+	m := Merge()
+	if m.Canonical != 0 || len(m.Survivors) != 0 {
+		t.Errorf("empty merge = %+v", m)
+	}
+	sh := &ShardResult{Start: 3, End: 9, Canonical: 2}
+	m = Merge(nil, sh, nil)
+	if m.Start != 3 || m.End != 9 || m.Canonical != 2 {
+		t.Errorf("merge with nils = %+v", m)
+	}
+}
+
+func TestParallelRunMatchesSequential(t *testing.T) {
+	s, _ := NewSpace(10)
+	seq := &Pipeline{
+		Space:   s,
+		Filters: []Filter{HDFilter{Lengths: []int{11, 25}, MinHD: 4, Engine: EngineFast}},
+		Workers: 1,
+	}
+	want, err := seq.Run(context.Background(), 0, s.TotalPolynomials())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want.Survivors) == 0 {
+		t.Fatal("expected width-10 survivors")
+	}
+	for _, workers := range []int{0, 2, 7} {
+		par := &Pipeline{Space: s, Filters: seq.Filters, Workers: workers}
+		got, err := par.Run(context.Background(), 0, s.TotalPolynomials())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Canonical != want.Canonical {
+			t.Errorf("workers=%d: canonical %d, want %d", workers, got.Canonical, want.Canonical)
+		}
+		if len(got.Survivors) != len(want.Survivors) {
+			t.Fatalf("workers=%d: %d survivors, want %d", workers, len(got.Survivors), len(want.Survivors))
+		}
+		for i := range got.Survivors {
+			if got.Survivors[i] != want.Survivors[i] {
+				t.Errorf("workers=%d: survivor %d is %v, want %v", workers, i, got.Survivors[i], want.Survivors[i])
+			}
+		}
+		if len(got.Stages) != 1 || got.Stages[0].In != want.Stages[0].In || got.Stages[0].Out != want.Stages[0].Out {
+			t.Errorf("workers=%d: stage stats %+v, want %+v", workers, got.Stages, want.Stages)
+		}
+	}
+}
+
+func TestParallelRunPartialRange(t *testing.T) {
+	s, _ := NewSpace(10)
+	pl := &Pipeline{
+		Space:   s,
+		Filters: []Filter{HDFilter{Lengths: []int{11}, MinHD: 4, Engine: EngineFast}},
+		Workers: 4,
+	}
+	want, err := pl.RunShard(context.Background(), 100, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := pl.Run(context.Background(), 100, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Start != 100 || got.End != 400 {
+		t.Errorf("range [%d,%d), want [100,400)", got.Start, got.End)
+	}
+	if got.Canonical != want.Canonical || len(got.Survivors) != len(want.Survivors) {
+		t.Errorf("parallel partial range: %d/%d, want %d/%d",
+			got.Canonical, len(got.Survivors), want.Canonical, len(want.Survivors))
+	}
+}
+
 func TestPipelineContextCancellation(t *testing.T) {
 	s, _ := NewSpace(16)
 	ctx, cancel := context.WithCancel(context.Background())

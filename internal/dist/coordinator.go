@@ -1,0 +1,340 @@
+package dist
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"koopmancrc/internal/core"
+	"koopmancrc/internal/poly"
+)
+
+// CoordinatorConfig tunes a Coordinator.
+type CoordinatorConfig struct {
+	// Spec is the search served to every worker.
+	Spec SearchSpec
+	// JobSize is the number of raw indices per job (default 4096).
+	JobSize uint64
+	// LeaseTimeout bounds how long an assigned job may stay unreported
+	// before it is requeued for another worker (default 30s). There is
+	// no mid-job heartbeat yet, so it must comfortably exceed the
+	// worst-case duration of one job — size it together with JobSize
+	// (a width-32 job of 4096 indices takes minutes, not seconds), or
+	// healthy-but-slow workers trigger spurious requeues and duplicate
+	// compute across the fleet.
+	LeaseTimeout time.Duration
+	// Logf, when set, receives progress lines (assignments, requeues).
+	Logf func(format string, args ...any)
+}
+
+// Summary is the merged outcome of a completed distributed search.
+type Summary struct {
+	// Jobs is the number of jobs the space was carved into.
+	Jobs int
+	// Requeues counts lease expiries that sent a job back to the queue.
+	Requeues int
+	// Canonical is the total number of canonical candidates evaluated.
+	Canonical uint64
+	// Survivors pass the HD filter at every scheduled length, in
+	// ascending Koopman order.
+	Survivors []poly.P
+	// Elapsed is the coordinator wall-clock time from start to the last
+	// job's result.
+	Elapsed time.Duration
+}
+
+type jobState int
+
+const (
+	jobPending jobState = iota
+	jobAssigned
+	jobDone
+)
+
+type job struct {
+	id         uint64
+	start, end uint64
+	state      jobState
+	worker     string
+	deadline   time.Time
+}
+
+// Coordinator owns the job queue of a distributed search: it carves the
+// space into [start, end) jobs, leases them to workers over TCP, requeues
+// expired leases and merges results into a Summary.
+type Coordinator struct {
+	cfg   CoordinatorConfig
+	space core.Space
+	ln    net.Listener
+
+	mu        sync.Mutex
+	jobs      []*job
+	queue     []uint64
+	doneJobs  int
+	requeues  int
+	canonical uint64
+	survivors []poly.P
+	summary   *Summary
+	conns     map[net.Conn]struct{}
+
+	started   time.Time
+	doneCh    chan struct{}
+	closedCh  chan struct{}
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+}
+
+// NewCoordinator validates the spec, carves the whole space into jobs and
+// starts listening on addr (e.g. "127.0.0.1:0" for an ephemeral port).
+func NewCoordinator(addr string, cfg CoordinatorConfig) (*Coordinator, error) {
+	space, err := core.NewSpace(cfg.Spec.Width)
+	if err != nil {
+		return nil, err
+	}
+	if len(cfg.Spec.Lengths) == 0 || cfg.Spec.MinHD < 2 {
+		return nil, fmt.Errorf("dist: spec needs lengths and MinHD >= 2")
+	}
+	if cfg.JobSize == 0 {
+		cfg.JobSize = 4096
+	}
+	if cfg.LeaseTimeout <= 0 {
+		cfg.LeaseTimeout = 30 * time.Second
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Coordinator{
+		cfg:      cfg,
+		space:    space,
+		ln:       ln,
+		conns:    make(map[net.Conn]struct{}),
+		started:  time.Now(),
+		doneCh:   make(chan struct{}),
+		closedCh: make(chan struct{}),
+	}
+	total := space.TotalPolynomials()
+	for start := uint64(0); start < total; start += cfg.JobSize {
+		end := start + cfg.JobSize
+		if end > total {
+			end = total
+		}
+		id := uint64(len(c.jobs))
+		c.jobs = append(c.jobs, &job{id: id, start: start, end: end})
+		c.queue = append(c.queue, id)
+	}
+	c.wg.Add(2)
+	go c.acceptLoop()
+	go c.leaseLoop()
+	return c, nil
+}
+
+// Addr returns the coordinator's listen address, suitable for NewWorker.
+func (c *Coordinator) Addr() string { return c.ln.Addr().String() }
+
+// Wait blocks until every job has reported (returning the merged
+// Summary), the context is cancelled, or the coordinator is closed.
+func (c *Coordinator) Wait(ctx context.Context) (*Summary, error) {
+	select {
+	case <-c.doneCh:
+		return c.summaryLocked(), nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-c.closedCh:
+		// Close raced with completion; prefer the summary if it exists.
+		select {
+		case <-c.doneCh:
+			return c.summaryLocked(), nil
+		default:
+		}
+		return nil, fmt.Errorf("dist: coordinator closed before the space was covered")
+	}
+}
+
+func (c *Coordinator) summaryLocked() *Summary {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.summary
+}
+
+// Close stops the listener, disconnects workers and unblocks Wait. It is
+// idempotent and safe to call after completion.
+func (c *Coordinator) Close() error {
+	c.closeOnce.Do(func() {
+		close(c.closedCh)
+		c.ln.Close()
+		c.mu.Lock()
+		for conn := range c.conns {
+			conn.Close()
+		}
+		c.mu.Unlock()
+	})
+	c.wg.Wait()
+	return nil
+}
+
+func (c *Coordinator) acceptLoop() {
+	defer c.wg.Done()
+	for {
+		conn, err := c.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		c.mu.Lock()
+		c.conns[conn] = struct{}{}
+		c.mu.Unlock()
+		// A connection accepted concurrently with Close can miss its
+		// sweep of c.conns; close it here so handleConn exits at once
+		// instead of leasing jobs (and blocking Close) after shutdown.
+		select {
+		case <-c.closedCh:
+			conn.Close()
+		default:
+		}
+		c.wg.Add(1)
+		go c.handleConn(conn)
+	}
+}
+
+// leaseLoop requeues jobs whose lease expired — the fault-tolerance path
+// for workers that died or hung mid-job.
+func (c *Coordinator) leaseLoop() {
+	defer c.wg.Done()
+	interval := c.cfg.LeaseTimeout / 4
+	if interval < 5*time.Millisecond {
+		interval = 5 * time.Millisecond
+	}
+	if interval > time.Second {
+		interval = time.Second
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.closedCh:
+			return
+		case <-c.doneCh:
+			return
+		case now := <-t.C:
+			c.mu.Lock()
+			for _, j := range c.jobs {
+				if j.state == jobAssigned && now.After(j.deadline) {
+					j.state = jobPending
+					c.queue = append(c.queue, j.id)
+					c.requeues++
+					c.cfg.Logf("dist: lease expired on job %d [%d,%d) held by %q; requeued",
+						j.id, j.start, j.end, j.worker)
+				}
+			}
+			c.mu.Unlock()
+		}
+	}
+}
+
+func (c *Coordinator) handleConn(conn net.Conn) {
+	defer c.wg.Done()
+	defer func() {
+		c.mu.Lock()
+		delete(c.conns, conn)
+		c.mu.Unlock()
+		conn.Close()
+	}()
+	w := newWire(conn)
+	for {
+		m, err := w.recv()
+		if err != nil {
+			return
+		}
+		switch m.Type {
+		case msgResult:
+			if err := c.recordResult(m); err != nil {
+				c.cfg.Logf("dist: dropping result from %q: %v", m.Worker, err)
+				return
+			}
+		case msgNext:
+			// fall through to assignment
+		default:
+			c.cfg.Logf("dist: unknown message %q from %q", m.Type, m.Worker)
+			return
+		}
+		if err := w.send(c.nextAssignment(m.Worker)); err != nil {
+			return
+		}
+	}
+}
+
+// nextAssignment pops the next pending job for a worker, or tells it to
+// wait (leases outstanding) or shut down (space covered).
+func (c *Coordinator) nextAssignment(worker string) *message {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.doneJobs == len(c.jobs) {
+		return &message{Type: msgShutdown}
+	}
+	for len(c.queue) > 0 {
+		id := c.queue[0]
+		c.queue = c.queue[1:]
+		j := c.jobs[id]
+		if j.state != jobPending {
+			continue // completed while requeued — a slow worker delivered after all
+		}
+		j.state = jobAssigned
+		j.worker = worker
+		j.deadline = time.Now().Add(c.cfg.LeaseTimeout)
+		spec := c.cfg.Spec
+		return &message{Type: msgJob, JobID: j.id, Spec: &spec, Start: j.start, End: j.end}
+	}
+	return &message{Type: msgWait}
+}
+
+// recordResult merges one job's partial result, ignoring duplicates so a
+// requeued job that two workers both finish is counted exactly once.
+func (c *Coordinator) recordResult(m *message) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if m.JobID >= uint64(len(c.jobs)) {
+		return fmt.Errorf("unknown job id %d", m.JobID)
+	}
+	j := c.jobs[m.JobID]
+	if j.state == jobDone {
+		c.cfg.Logf("dist: duplicate result for job %d from %q ignored", j.id, m.Worker)
+		return nil
+	}
+	survivors := make([]poly.P, 0, len(m.Survivors))
+	for _, k := range m.Survivors {
+		p, err := poly.FromKoopman(c.cfg.Spec.Width, k)
+		if err != nil {
+			return fmt.Errorf("job %d survivor %#x: %w", j.id, k, err)
+		}
+		survivors = append(survivors, p)
+	}
+	j.state = jobDone
+	j.worker = m.Worker
+	c.canonical += m.Canonical
+	c.survivors = append(c.survivors, survivors...)
+	c.doneJobs++
+	c.cfg.Logf("dist: job %d [%d,%d) done by %q in %v (%d/%d jobs)",
+		j.id, j.start, j.end, m.Worker, time.Duration(m.ElapsedNS), c.doneJobs, len(c.jobs))
+	if c.doneJobs == len(c.jobs) {
+		// Jobs complete out of order; restore ascending Koopman order so
+		// the summary matches a sequential single-machine sweep.
+		sort.Slice(c.survivors, func(i, k int) bool {
+			return c.survivors[i].Koopman() < c.survivors[k].Koopman()
+		})
+		c.summary = &Summary{
+			Jobs:      len(c.jobs),
+			Requeues:  c.requeues,
+			Canonical: c.canonical,
+			Survivors: c.survivors,
+			Elapsed:   time.Since(c.started),
+		}
+		close(c.doneCh)
+	}
+	return nil
+}

@@ -1,0 +1,20 @@
+// Package dist implements the paper's §4.2 distributed design-space
+// search: the 2^30 canonical 32-bit candidates were filtered on ~50 idle
+// workstations over three months by handing out slices of the space and
+// recombining partial results.
+//
+// A Coordinator carves a core.Space into fixed-size [start, end) jobs and
+// serves them to Workers over a line-delimited JSON TCP protocol. Each
+// assignment carries a lease; jobs whose lease expires (a worker died or
+// hung) are requeued automatically, and duplicate results from slow
+// workers are discarded so no candidate is lost or double-counted. Every
+// worker filters its jobs with the same core.Pipeline engine as the local
+// koopmancrc.Search path — including the intra-machine worker-pool
+// fan-out, so one dist worker per machine saturates all of its cores.
+// Completed jobs merge into a Summary once the whole space is covered.
+//
+// The wire protocol is a strict request/response exchange initiated by
+// the worker; see protocol.go. cmd/crcsearch exposes both halves
+// (-mode coord | worker) and examples/distsearch runs the architecture
+// in-process over localhost.
+package dist

@@ -1,0 +1,88 @@
+package dist
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+)
+
+// SearchSpec is the search every job belongs to, fixed for the lifetime
+// of a Coordinator and echoed in each job message so workers need no
+// out-of-band configuration.
+type SearchSpec struct {
+	// Width of the polynomials to search (2..32).
+	Width int `json:"width"`
+	// MinHD is the Hamming distance to demand.
+	MinHD int `json:"min_hd"`
+	// Lengths is the increasing-length filter schedule (bits); the last
+	// entry is the target length.
+	Lengths []int `json:"lengths"`
+}
+
+// Message types. The worker initiates every exchange and the coordinator
+// answers each worker message with exactly one reply:
+//
+//	worker → coord: next   (idle, requesting work; carries worker id)
+//	worker → coord: result (a completed job; also an implicit next)
+//	coord → worker: job      (an assignment: spec + [start, end))
+//	coord → worker: wait     (no job available now — leases outstanding)
+//	coord → worker: shutdown (space fully covered; disconnect)
+const (
+	msgNext     = "next"
+	msgResult   = "result"
+	msgJob      = "job"
+	msgWait     = "wait"
+	msgShutdown = "shutdown"
+)
+
+// message is the single line-delimited JSON envelope for every exchange.
+// Survivors travel as raw Koopman values; the coordinator rebuilds poly.P
+// from the spec width.
+type message struct {
+	Type   string      `json:"type"`
+	Worker string      `json:"worker,omitempty"`
+	Spec   *SearchSpec `json:"spec,omitempty"`
+	// Zero is meaningful for all numeric fields (job 0 starts at index
+	// 0 and an empty shard has 0 candidates), so none are omitempty.
+	JobID     uint64   `json:"job_id"`
+	Start     uint64   `json:"start"`
+	End       uint64   `json:"end"`
+	Canonical uint64   `json:"canonical"`
+	Survivors []uint64 `json:"survivors,omitempty"`
+	ElapsedNS int64    `json:"elapsed_ns"`
+}
+
+// wire frames line-delimited JSON messages over a connection. Decoding
+// streams through json.Decoder, so a result carrying millions of
+// survivors (a permissive filter on a large job) has no fixed line-size
+// cap that could wedge the job in a requeue loop.
+type wire struct {
+	conn net.Conn
+	enc  *json.Encoder
+	dec  *json.Decoder
+}
+
+func newWire(conn net.Conn) *wire {
+	return &wire{conn: conn, enc: json.NewEncoder(conn), dec: json.NewDecoder(bufio.NewReader(conn))}
+}
+
+// send writes one message as a single JSON line.
+func (w *wire) send(m *message) error {
+	return w.enc.Encode(m)
+}
+
+// recv blocks for the next message.
+func (w *wire) recv() (*message, error) {
+	var m message
+	if err := w.dec.Decode(&m); err != nil {
+		if err == io.EOF {
+			return nil, fmt.Errorf("dist: connection closed")
+		}
+		return nil, fmt.Errorf("dist: bad message: %w", err)
+	}
+	return &m, nil
+}
+
+func (w *wire) close() error { return w.conn.Close() }

@@ -1,0 +1,141 @@
+package dist
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"time"
+
+	"koopmancrc/internal/core"
+)
+
+// WorkerConfig tunes a Worker.
+type WorkerConfig struct {
+	// ID names the worker in coordinator logs and lease bookkeeping.
+	ID string
+	// Parallelism is the intra-machine fan-out applied to each job
+	// (core.Pipeline.Workers); zero means GOMAXPROCS, so one dist
+	// worker per machine saturates all of its cores.
+	Parallelism int
+	// PollInterval is the retry delay after a wait reply (default 200ms).
+	PollInterval time.Duration
+	// Logf, when set, receives per-job progress lines.
+	Logf func(format string, args ...any)
+}
+
+// Worker connects to a coordinator, pulls jobs until the space is
+// covered and filters each job with the shared core.Pipeline engine.
+type Worker struct {
+	addr string
+	cfg  WorkerConfig
+}
+
+// NewWorker returns a worker that will dial the coordinator at addr.
+func NewWorker(addr string, cfg WorkerConfig) *Worker {
+	if cfg.ID == "" {
+		cfg.ID = "worker"
+	}
+	if cfg.PollInterval <= 0 {
+		cfg.PollInterval = 200 * time.Millisecond
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	return &Worker{addr: addr, cfg: cfg}
+}
+
+// Run processes jobs until the coordinator sends shutdown, returning the
+// number of jobs completed. The context aborts the connection and any
+// in-flight filtering.
+func (w *Worker) Run(ctx context.Context) (int, error) {
+	conn, err := net.Dial("tcp", w.addr)
+	if err != nil {
+		return 0, fmt.Errorf("dist: worker %s: %w", w.cfg.ID, err)
+	}
+	wr := newWire(conn)
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		select {
+		case <-ctx.Done():
+			wr.close()
+		case <-stop:
+			wr.close()
+		}
+	}()
+
+	jobs := 0
+	req := &message{Type: msgNext, Worker: w.cfg.ID}
+	for {
+		if err := wr.send(req); err != nil {
+			return jobs, w.ctxErr(ctx, err)
+		}
+		reply, err := wr.recv()
+		if err != nil {
+			return jobs, w.ctxErr(ctx, err)
+		}
+		switch reply.Type {
+		case msgShutdown:
+			return jobs, nil
+		case msgWait:
+			select {
+			case <-ctx.Done():
+				return jobs, ctx.Err()
+			case <-time.After(w.cfg.PollInterval):
+			}
+			req = &message{Type: msgNext, Worker: w.cfg.ID}
+		case msgJob:
+			res, err := w.runJob(ctx, reply)
+			if err != nil {
+				return jobs, err
+			}
+			jobs++
+			req = res
+		default:
+			return jobs, fmt.Errorf("dist: worker %s: unexpected reply %q", w.cfg.ID, reply.Type)
+		}
+	}
+}
+
+// runJob filters one [start, end) slice of the space and packages the
+// shard result as the wire reply.
+func (w *Worker) runJob(ctx context.Context, m *message) (*message, error) {
+	if m.Spec == nil {
+		return nil, fmt.Errorf("dist: worker %s: job %d has no spec", w.cfg.ID, m.JobID)
+	}
+	space, err := core.NewSpace(m.Spec.Width)
+	if err != nil {
+		return nil, fmt.Errorf("dist: worker %s: %w", w.cfg.ID, err)
+	}
+	pl := &core.Pipeline{
+		Space:   space,
+		Filters: []core.Filter{core.HDFilter{Lengths: m.Spec.Lengths, MinHD: m.Spec.MinHD, Engine: core.EngineFast}},
+		Workers: w.cfg.Parallelism,
+	}
+	res, err := pl.Run(ctx, m.Start, m.End)
+	if err != nil {
+		return nil, fmt.Errorf("dist: worker %s: job %d: %w", w.cfg.ID, m.JobID, err)
+	}
+	w.cfg.Logf("dist: worker %s: job %d [%d,%d): %d canonical, %d survivors in %v",
+		w.cfg.ID, m.JobID, m.Start, m.End, res.Canonical, len(res.Survivors), res.Elapsed)
+	survivors := make([]uint64, len(res.Survivors))
+	for i, p := range res.Survivors {
+		survivors[i] = p.Koopman()
+	}
+	return &message{
+		Type:      msgResult,
+		Worker:    w.cfg.ID,
+		JobID:     m.JobID,
+		Canonical: res.Canonical,
+		Survivors: survivors,
+		ElapsedNS: res.Elapsed.Nanoseconds(),
+	}, nil
+}
+
+// ctxErr prefers the context's error over a connection error it caused.
+func (w *Worker) ctxErr(ctx context.Context, err error) error {
+	if ctx.Err() != nil {
+		return ctx.Err()
+	}
+	return fmt.Errorf("dist: worker %s: %w", w.cfg.ID, err)
+}

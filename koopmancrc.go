@@ -244,6 +244,10 @@ type SearchConfig struct {
 	// StartIdx and EndIdx bound the raw index slice to search;
 	// EndIdx 0 means the whole space (feasible for width <= ~20).
 	StartIdx, EndIdx uint64
+	// Parallelism is the number of filter goroutines the slice is
+	// fanned out over (0 means GOMAXPROCS, 1 forces sequential). Each
+	// internal/dist worker applies the same fan-out to its jobs.
+	Parallelism int
 }
 
 // SearchResult is the outcome of a Search.
@@ -259,8 +263,10 @@ type SearchResult struct {
 }
 
 // Search filters a slice of the design space, reproducing the paper's
-// search pipeline on a single machine. For the distributed version see
-// internal/dist and cmd/crcsearch.
+// search pipeline on a single machine. The slice is carved into
+// sub-shards filtered concurrently (see SearchConfig.Parallelism) and
+// the partial results merged — the same work-unit layering that
+// internal/dist distributes across machines (see cmd/crcsearch).
 func Search(ctx context.Context, cfg SearchConfig) (*SearchResult, error) {
 	space, err := core.NewSpace(cfg.Width)
 	if err != nil {
@@ -276,6 +282,7 @@ func Search(ctx context.Context, cfg SearchConfig) (*SearchResult, error) {
 	pl := &core.Pipeline{
 		Space:   space,
 		Filters: []core.Filter{core.HDFilter{Lengths: cfg.Lengths, MinHD: cfg.MinHD, Engine: core.EngineFast}},
+		Workers: cfg.Parallelism,
 	}
 	res, err := pl.Run(ctx, cfg.StartIdx, end)
 	if err != nil {

@@ -128,6 +128,30 @@ func TestSearchSmallWidth(t *testing.T) {
 	}
 }
 
+func TestSearchParallelismMatchesSequential(t *testing.T) {
+	seq, err := Search(context.Background(), SearchConfig{
+		Width: 10, MinHD: 4, Lengths: []int{11, 25}, Parallelism: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Search(context.Background(), SearchConfig{
+		Width: 10, MinHD: 4, Lengths: []int{11, 25}, Parallelism: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if par.Candidates != seq.Candidates || len(par.Survivors) != len(seq.Survivors) {
+		t.Fatalf("parallel %d/%d, sequential %d/%d",
+			par.Candidates, len(par.Survivors), seq.Candidates, len(seq.Survivors))
+	}
+	for i := range par.Survivors {
+		if par.Survivors[i] != seq.Survivors[i] {
+			t.Errorf("survivor %d: %v vs %v", i, par.Survivors[i], seq.Survivors[i])
+		}
+	}
+}
+
 func TestSearchValidation(t *testing.T) {
 	if _, err := Search(context.Background(), SearchConfig{Width: 99, MinHD: 4, Lengths: []int{8}}); err == nil {
 		t.Error("bad width should error")
