@@ -4,6 +4,12 @@
 //	crcsearch -mode local -width 16 -hd 6 -lengths 16,64,128
 //	crcsearch -mode coord -listen :9000 -width 16 -hd 6 -lengths 16,64,128 -jobsize 1024
 //	crcsearch -mode worker -connect host:9000 -id alpha
+//
+// Long sweeps should run the coordinator with a durable checkpoint so an
+// interrupted search (crash, SIGINT) resumes instead of restarting:
+//
+//	crcsearch -mode coord -checkpoint /var/lib/crcsearch/w32 ...
+//	crcsearch -mode coord -checkpoint /var/lib/crcsearch/w32 -resume ...
 package main
 
 import (
@@ -11,9 +17,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"koopmancrc"
@@ -41,6 +49,8 @@ func run(args []string) error {
 	id := fs.String("id", "worker", "worker id")
 	jobSize := fs.Uint64("jobsize", 4096, "raw indices per job (coord mode)")
 	lease := fs.Duration("lease", 30*time.Second, "job lease timeout (coord mode)")
+	checkpoint := fs.String("checkpoint", "", "durable journal directory for checkpoint/resume (coord mode)")
+	resume := fs.Bool("resume", false, "resume the sweep journaled in -checkpoint (coord mode)")
 	par := fs.Int("parallelism", 0, "filter goroutines per machine, 0 = GOMAXPROCS (local and worker modes)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -49,11 +59,14 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	if *resume && *checkpoint == "" {
+		return fmt.Errorf("-resume requires -checkpoint")
+	}
 	switch *mode {
 	case "local":
 		return runLocal(*width, *minHD, sched, *startIdx, *endIdx, *par)
 	case "coord":
-		return runCoord(*listen, *width, *minHD, sched, *jobSize, *lease)
+		return runCoord(*listen, *width, *minHD, sched, *jobSize, *lease, *checkpoint, *resume)
 	case "worker":
 		return runWorker(*connect, *id, *par)
 	default:
@@ -85,11 +98,13 @@ func runLocal(width, minHD int, lengths []int, start, end uint64, par int) error
 	return nil
 }
 
-func runCoord(listen string, width, minHD int, lengths []int, jobSize uint64, lease time.Duration) error {
+func runCoord(listen string, width, minHD int, lengths []int, jobSize uint64, lease time.Duration, checkpoint string, resume bool) error {
 	c, err := dist.NewCoordinator(listen, dist.CoordinatorConfig{
-		Spec:         dist.SearchSpec{Width: width, MinHD: minHD, Lengths: lengths},
-		JobSize:      jobSize,
-		LeaseTimeout: lease,
+		Spec:          dist.SearchSpec{Width: width, MinHD: minHD, Lengths: lengths},
+		JobSize:       jobSize,
+		LeaseTimeout:  lease,
+		CheckpointDir: checkpoint,
+		Resume:        resume,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		},
@@ -99,11 +114,42 @@ func runCoord(listen string, width, minHD int, lengths []int, jobSize uint64, le
 	}
 	defer c.Close()
 	fmt.Fprintf(os.Stderr, "coordinator listening on %s\n", c.Addr())
+
+	// SIGINT/SIGTERM suspend the sweep cleanly: Close disconnects the
+	// workers, flushes a final checkpoint snapshot and unblocks Wait.
+	interrupted := make(chan struct{})
+	finished := make(chan struct{})
+	defer close(finished)
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sig)
+	go func() {
+		select {
+		case <-sig:
+			fmt.Fprintln(os.Stderr, "interrupt: flushing checkpoint and shutting down")
+			close(interrupted)
+			c.Close()
+		case <-finished:
+		}
+	}()
+
 	sum, err := c.Wait(context.Background())
 	if err != nil {
+		select {
+		case <-interrupted:
+			if checkpoint != "" {
+				done, total := c.Progress()
+				fmt.Fprintf(os.Stderr,
+					"checkpoint saved: %d/%d jobs done; continue with -mode coord -checkpoint %s -resume\n",
+					done, total, checkpoint)
+				return nil
+			}
+		default:
+		}
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "jobs=%d requeues=%d\n", sum.Jobs, sum.Requeues)
+	fmt.Fprintf(os.Stderr, "jobs=%d requeues=%d resumed=%d\n", sum.Jobs, sum.Requeues, sum.Resumed)
+	printStages(sum.Stages)
 	census, err := core.Census(sum.Survivors)
 	if err != nil {
 		return err
@@ -132,6 +178,19 @@ func runWorker(connect, id string, par int) error {
 	}
 	fmt.Fprintf(os.Stderr, "worker %s completed %d jobs\n", id, n)
 	return nil
+}
+
+// printStages reports the fleet-wide per-stage drop statistics the
+// coordinator aggregated from worker results.
+func printStages(stages []core.StageStats) {
+	for _, st := range stages {
+		drop := 0.0
+		if st.In > 0 {
+			drop = 100 * float64(st.In-st.Out) / float64(st.In)
+		}
+		fmt.Fprintf(os.Stderr, "stage %-24s in=%-10d out=%-10d drop=%5.1f%% compute=%v\n",
+			st.Name, st.In, st.Out, drop, st.Elapsed)
+	}
 }
 
 func printSummary(candidates uint64, rate float64, survivors []koopmancrc.Polynomial, census map[string]int) {

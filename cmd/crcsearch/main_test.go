@@ -29,3 +29,22 @@ func TestRunUnknownMode(t *testing.T) {
 		t.Error("unknown mode should error")
 	}
 }
+
+func TestResumeRequiresCheckpoint(t *testing.T) {
+	if err := run([]string{"-mode", "coord", "-resume"}); err == nil {
+		t.Error("-resume without -checkpoint should error")
+	}
+}
+
+func TestResumeEmptyCheckpointErrors(t *testing.T) {
+	// An empty journal directory has no sweep to continue; the
+	// coordinator must refuse before binding the listener.
+	err := run([]string{
+		"-mode", "coord", "-listen", "127.0.0.1:0",
+		"-width", "8", "-hd", "4", "-lengths", "9,19",
+		"-checkpoint", t.TempDir(), "-resume",
+	})
+	if err == nil {
+		t.Error("resuming an empty checkpoint should error")
+	}
+}

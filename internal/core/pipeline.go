@@ -178,26 +178,35 @@ func Merge(shards ...*ShardResult) *ShardResult {
 		out.Canonical += s.Canonical
 		out.Elapsed += s.Elapsed
 		out.Survivors = append(out.Survivors, s.Survivors...)
-		for _, st := range s.Stages {
-			merged := false
-			for i := range out.Stages {
-				if out.Stages[i].Name == st.Name {
-					out.Stages[i].In += st.In
-					out.Stages[i].Out += st.Out
-					out.Stages[i].Elapsed += st.Elapsed
-					merged = true
-					break
-				}
-			}
-			if !merged {
-				out.Stages = append(out.Stages, st)
-			}
-		}
+		out.Stages = MergeStages(out.Stages, s.Stages)
 	}
 	sort.Slice(out.Survivors, func(i, j int) bool {
 		return out.Survivors[i].Koopman() < out.Survivors[j].Koopman()
 	})
 	return out
+}
+
+// MergeStages folds per-stage statistics into an aggregate keyed by
+// stage name, summing In/Out/Elapsed and appending stages dst has not
+// seen. It is the stage half of Merge, shared with internal/dist's
+// coordinator-side aggregation of worker-reported statistics.
+func MergeStages(dst, add []StageStats) []StageStats {
+	for _, st := range add {
+		merged := false
+		for i := range dst {
+			if dst[i].Name == st.Name {
+				dst[i].In += st.In
+				dst[i].Out += st.Out
+				dst[i].Elapsed += st.Elapsed
+				merged = true
+				break
+			}
+		}
+		if !merged {
+			dst = append(dst, st)
+		}
+	}
+	return dst
 }
 
 // Pipeline applies filters in order over a polynomial space.

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"koopmancrc/internal/core"
+	"koopmancrc/internal/journal"
 	"koopmancrc/internal/poly"
 )
 
@@ -18,14 +19,24 @@ type CoordinatorConfig struct {
 	Spec SearchSpec
 	// JobSize is the number of raw indices per job (default 4096).
 	JobSize uint64
-	// LeaseTimeout bounds how long an assigned job may stay unreported
-	// before it is requeued for another worker (default 30s). There is
-	// no mid-job heartbeat yet, so it must comfortably exceed the
-	// worst-case duration of one job — size it together with JobSize
-	// (a width-32 job of 4096 indices takes minutes, not seconds), or
-	// healthy-but-slow workers trigger spurious requeues and duplicate
-	// compute across the fleet.
+	// LeaseTimeout bounds how long an assigned job may stay silent
+	// before it is requeued for another worker (default 30s). Workers
+	// send mid-job heartbeats at a third of this interval, so it only
+	// needs to exceed a few heartbeat periods — not the worst-case job
+	// duration — for slow-but-healthy workers to keep their leases.
 	LeaseTimeout time.Duration
+	// CheckpointDir, when non-empty, enables the durable journal: the
+	// coordinator records grants, completions and requeues as they
+	// happen and compacts them into snapshots, so a crashed sweep can
+	// be resumed from disk.
+	CheckpointDir string
+	// Resume reconstructs the ledger from an existing CheckpointDir
+	// journal instead of starting the sweep at job zero. The journaled
+	// spec, job size and job count must match this configuration.
+	Resume bool
+	// SnapshotEvery is the journal compaction cadence in appended
+	// records (default 64).
+	SnapshotEvery int
 	// Logf, when set, receives progress lines (assignments, requeues).
 	Logf func(format string, args ...any)
 }
@@ -34,15 +45,22 @@ type CoordinatorConfig struct {
 type Summary struct {
 	// Jobs is the number of jobs the space was carved into.
 	Jobs int
-	// Requeues counts lease expiries that sent a job back to the queue.
+	// Requeues counts lease expiries that sent a job back to the queue,
+	// including ones restored from a resumed checkpoint.
 	Requeues int
+	// Resumed is the number of jobs restored as already done from a
+	// checkpoint journal (0 for a fresh sweep).
+	Resumed int
 	// Canonical is the total number of canonical candidates evaluated.
 	Canonical uint64
 	// Survivors pass the HD filter at every scheduled length, in
 	// ascending Koopman order.
 	Survivors []poly.P
+	// Stages aggregates the workers' per-stage filter statistics across
+	// every job, in pipeline order.
+	Stages []core.StageStats
 	// Elapsed is the coordinator wall-clock time from start to the last
-	// job's result.
+	// job's result (the current process only, on a resumed sweep).
 	Elapsed time.Duration
 }
 
@@ -64,21 +82,26 @@ type job struct {
 
 // Coordinator owns the job queue of a distributed search: it carves the
 // space into [start, end) jobs, leases them to workers over TCP, requeues
-// expired leases and merges results into a Summary.
+// expired leases, journals the ledger when checkpointing is enabled and
+// merges results into a Summary.
 type Coordinator struct {
 	cfg   CoordinatorConfig
 	space core.Space
 	ln    net.Listener
 
-	mu        sync.Mutex
-	jobs      []*job
-	queue     []uint64
-	doneJobs  int
-	requeues  int
-	canonical uint64
-	survivors []poly.P
-	summary   *Summary
-	conns     map[net.Conn]struct{}
+	mu           sync.Mutex
+	jobs         []*job
+	queue        []uint64
+	doneJobs     int
+	requeues     int
+	resumed      int
+	canonical    uint64
+	survivors    []poly.P
+	stages       []core.StageStats
+	summary      *Summary
+	conns        map[net.Conn]struct{}
+	jnl          *journal.Journal
+	appendsSince int
 
 	started   time.Time
 	doneCh    chan struct{}
@@ -87,8 +110,9 @@ type Coordinator struct {
 	wg        sync.WaitGroup
 }
 
-// NewCoordinator validates the spec, carves the whole space into jobs and
-// starts listening on addr (e.g. "127.0.0.1:0" for an ephemeral port).
+// NewCoordinator validates the spec, carves the whole space into jobs,
+// opens (or resumes) the checkpoint journal if configured, and starts
+// listening on addr (e.g. "127.0.0.1:0" for an ephemeral port).
 func NewCoordinator(addr string, cfg CoordinatorConfig) (*Coordinator, error) {
 	space, err := core.NewSpace(cfg.Spec.Width)
 	if err != nil {
@@ -97,23 +121,24 @@ func NewCoordinator(addr string, cfg CoordinatorConfig) (*Coordinator, error) {
 	if len(cfg.Spec.Lengths) == 0 || cfg.Spec.MinHD < 2 {
 		return nil, fmt.Errorf("dist: spec needs lengths and MinHD >= 2")
 	}
+	if cfg.Resume && cfg.CheckpointDir == "" {
+		return nil, fmt.Errorf("dist: Resume requires CheckpointDir")
+	}
 	if cfg.JobSize == 0 {
 		cfg.JobSize = 4096
 	}
 	if cfg.LeaseTimeout <= 0 {
 		cfg.LeaseTimeout = 30 * time.Second
 	}
+	if cfg.SnapshotEvery <= 0 {
+		cfg.SnapshotEvery = 64
+	}
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
-	}
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return nil, err
 	}
 	c := &Coordinator{
 		cfg:      cfg,
 		space:    space,
-		ln:       ln,
 		conns:    make(map[net.Conn]struct{}),
 		started:  time.Now(),
 		doneCh:   make(chan struct{}),
@@ -129,6 +154,46 @@ func NewCoordinator(addr string, cfg CoordinatorConfig) (*Coordinator, error) {
 		c.jobs = append(c.jobs, &job{id: id, start: start, end: end})
 		c.queue = append(c.queue, id)
 	}
+	if cfg.CheckpointDir != "" {
+		jnl, rec, err := journal.Open(cfg.CheckpointDir)
+		if err != nil {
+			return nil, err
+		}
+		c.jnl = jnl
+		if cfg.Resume {
+			if err := c.restore(rec); err != nil {
+				jnl.Close()
+				return nil, err
+			}
+			c.cfg.Logf("dist: resumed checkpoint %s: %d/%d jobs done, %d survivors so far",
+				cfg.CheckpointDir, c.doneJobs, len(c.jobs), len(c.survivors))
+		} else {
+			if rec.Snapshot != nil || len(rec.Entries) > 0 {
+				jnl.Close()
+				return nil, fmt.Errorf("dist: checkpoint %s already holds a journal; set Resume to continue it",
+					cfg.CheckpointDir)
+			}
+			if err := jnl.Append(recBegin, beginRec{Spec: cfg.Spec, JobSize: cfg.JobSize, Jobs: len(c.jobs)}); err != nil {
+				jnl.Close()
+				return nil, err
+			}
+		}
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		if c.jnl != nil {
+			c.jnl.Close()
+		}
+		return nil, err
+	}
+	c.ln = ln
+	if c.doneJobs == len(c.jobs) {
+		// A resumed checkpoint of a finished sweep: nothing left to
+		// lease. Workers that connect are told to shut down.
+		c.mu.Lock()
+		c.completeLocked()
+		c.mu.Unlock()
+	}
 	c.wg.Add(2)
 	go c.acceptLoop()
 	go c.leaseLoop()
@@ -137,6 +202,13 @@ func NewCoordinator(addr string, cfg CoordinatorConfig) (*Coordinator, error) {
 
 // Addr returns the coordinator's listen address, suitable for NewWorker.
 func (c *Coordinator) Addr() string { return c.ln.Addr().String() }
+
+// Progress returns how many of the carved jobs have reported so far.
+func (c *Coordinator) Progress() (done, total int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.doneJobs, len(c.jobs)
+}
 
 // Wait blocks until every job has reported (returning the merged
 // Summary), the context is cancelled, or the coordinator is closed.
@@ -163,8 +235,10 @@ func (c *Coordinator) summaryLocked() *Summary {
 	return c.summary
 }
 
-// Close stops the listener, disconnects workers and unblocks Wait. It is
-// idempotent and safe to call after completion.
+// Close stops the listener, disconnects workers, flushes a final
+// checkpoint snapshot and unblocks Wait. It is idempotent and safe to
+// call after completion; with a checkpoint configured it is also the
+// clean way to suspend a sweep for a later Resume.
 func (c *Coordinator) Close() error {
 	c.closeOnce.Do(func() {
 		close(c.closedCh)
@@ -176,6 +250,16 @@ func (c *Coordinator) Close() error {
 		c.mu.Unlock()
 	})
 	c.wg.Wait()
+	// All connection handlers have drained; the ledger is quiescent.
+	c.mu.Lock()
+	if c.jnl != nil {
+		c.snapshotLocked()
+		if err := c.jnl.Close(); err != nil {
+			c.cfg.Logf("dist: closing checkpoint journal: %v", err)
+		}
+		c.jnl = nil
+	}
+	c.mu.Unlock()
 	return nil
 }
 
@@ -203,7 +287,8 @@ func (c *Coordinator) acceptLoop() {
 }
 
 // leaseLoop requeues jobs whose lease expired — the fault-tolerance path
-// for workers that died or hung mid-job.
+// for workers that died or hung mid-job. Healthy workers renew their
+// lease with heartbeats, so expiry means sustained silence, not slowness.
 func (c *Coordinator) leaseLoop() {
 	defer c.wg.Done()
 	interval := c.cfg.LeaseTimeout / 4
@@ -228,6 +313,7 @@ func (c *Coordinator) leaseLoop() {
 					j.state = jobPending
 					c.queue = append(c.queue, j.id)
 					c.requeues++
+					c.jnlAppendLocked(recRequeue, requeueRec{JobID: j.id, Worker: j.worker}, false)
 					c.cfg.Logf("dist: lease expired on job %d [%d,%d) held by %q; requeued",
 						j.id, j.start, j.end, j.worker)
 				}
@@ -259,6 +345,12 @@ func (c *Coordinator) handleConn(conn net.Conn) {
 			}
 		case msgNext:
 			// fall through to assignment
+		case msgHeartbeat:
+			// Fire-and-forget lease renewal from a busy worker's side
+			// goroutine; no reply, or it would interleave with the job
+			// reply the worker's main loop is waiting for.
+			c.renewLease(m.JobID, m.Worker)
+			continue
 		default:
 			c.cfg.Logf("dist: unknown message %q from %q", m.Type, m.Worker)
 			return
@@ -266,6 +358,22 @@ func (c *Coordinator) handleConn(conn net.Conn) {
 		if err := w.send(c.nextAssignment(m.Worker)); err != nil {
 			return
 		}
+	}
+}
+
+// renewLease extends a job's deadline if it is still assigned to the
+// heartbeating worker. Heartbeats for requeued or completed jobs are
+// ignored: a worker that lost its lease to sustained silence does not
+// get it back by resuming heartbeats.
+func (c *Coordinator) renewLease(id uint64, worker string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if id >= uint64(len(c.jobs)) {
+		return
+	}
+	j := c.jobs[id]
+	if j.state == jobAssigned && j.worker == worker {
+		j.deadline = time.Now().Add(c.cfg.LeaseTimeout)
 	}
 }
 
@@ -287,14 +395,19 @@ func (c *Coordinator) nextAssignment(worker string) *message {
 		j.state = jobAssigned
 		j.worker = worker
 		j.deadline = time.Now().Add(c.cfg.LeaseTimeout)
+		c.jnlAppendLocked(recGrant, grantRec{JobID: j.id, Worker: worker}, false)
 		spec := c.cfg.Spec
-		return &message{Type: msgJob, JobID: j.id, Spec: &spec, Start: j.start, End: j.end}
+		return &message{
+			Type: msgJob, JobID: j.id, Spec: &spec, Start: j.start, End: j.end,
+			LeaseNS: int64(c.cfg.LeaseTimeout),
+		}
 	}
 	return &message{Type: msgWait}
 }
 
 // recordResult merges one job's partial result, ignoring duplicates so a
-// requeued job that two workers both finish is counted exactly once.
+// requeued job that two workers both finish is counted exactly once. An
+// accepted result is journaled before the coordinator acknowledges it.
 func (c *Coordinator) recordResult(m *message) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -318,23 +431,37 @@ func (c *Coordinator) recordResult(m *message) error {
 	j.worker = m.Worker
 	c.canonical += m.Canonical
 	c.survivors = append(c.survivors, survivors...)
+	c.stages = core.MergeStages(c.stages, fromWireStages(m.Stages))
 	c.doneJobs++
+	c.jnlAppendLocked(recDone, doneRec{
+		JobID: j.id, Worker: m.Worker, Canonical: m.Canonical,
+		Survivors: m.Survivors, ElapsedNS: m.ElapsedNS, Stages: m.Stages,
+	}, true)
 	c.cfg.Logf("dist: job %d [%d,%d) done by %q in %v (%d/%d jobs)",
 		j.id, j.start, j.end, m.Worker, time.Duration(m.ElapsedNS), c.doneJobs, len(c.jobs))
 	if c.doneJobs == len(c.jobs) {
-		// Jobs complete out of order; restore ascending Koopman order so
-		// the summary matches a sequential single-machine sweep.
-		sort.Slice(c.survivors, func(i, k int) bool {
-			return c.survivors[i].Koopman() < c.survivors[k].Koopman()
-		})
-		c.summary = &Summary{
-			Jobs:      len(c.jobs),
-			Requeues:  c.requeues,
-			Canonical: c.canonical,
-			Survivors: c.survivors,
-			Elapsed:   time.Since(c.started),
-		}
-		close(c.doneCh)
+		c.completeLocked()
 	}
 	return nil
+}
+
+// completeLocked seals the sweep (c.mu held): survivors are re-sorted
+// into the order a sequential single-machine run would produce (jobs
+// complete out of order), the Summary is built, a final snapshot
+// compacts the journal and Wait unblocks.
+func (c *Coordinator) completeLocked() {
+	sort.Slice(c.survivors, func(i, k int) bool {
+		return c.survivors[i].Koopman() < c.survivors[k].Koopman()
+	})
+	c.summary = &Summary{
+		Jobs:      len(c.jobs),
+		Requeues:  c.requeues,
+		Resumed:   c.resumed,
+		Canonical: c.canonical,
+		Survivors: c.survivors,
+		Stages:    c.stages,
+		Elapsed:   time.Since(c.started),
+	}
+	c.snapshotLocked()
+	close(c.doneCh)
 }

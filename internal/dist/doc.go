@@ -5,16 +5,29 @@
 //
 // A Coordinator carves a core.Space into fixed-size [start, end) jobs and
 // serves them to Workers over a line-delimited JSON TCP protocol. Each
-// assignment carries a lease; jobs whose lease expires (a worker died or
-// hung) are requeued automatically, and duplicate results from slow
-// workers are discarded so no candidate is lost or double-counted. Every
-// worker filters its jobs with the same core.Pipeline engine as the local
-// koopmancrc.Search path — including the intra-machine worker-pool
-// fan-out, so one dist worker per machine saturates all of its cores.
-// Completed jobs merge into a Summary once the whole space is covered.
+// assignment carries a lease; workers renew their lease with mid-job
+// heartbeats, so expiry means a worker died or hung — not that a healthy
+// worker is slow — and expired jobs are requeued automatically, with
+// duplicate results from slow workers discarded so no candidate is lost
+// or double-counted. Every worker filters its jobs with the same
+// core.Pipeline engine as the local koopmancrc.Search path — including
+// the intra-machine worker-pool fan-out, so one dist worker per machine
+// saturates all of its cores. Completed jobs merge into a Summary once
+// the whole space is covered, including fleet-wide per-stage filter
+// statistics shipped back with each result.
+//
+// With CoordinatorConfig.CheckpointDir set, the coordinator layers the
+// internal/journal write-ahead log under the ledger: grants, completions
+// and requeues are journaled as they happen and periodically compacted
+// into snapshots. A crashed or interrupted coordinator restarts with
+// Resume, which reconstructs done/pending jobs and partial survivors
+// from disk and continues the sweep with exactly-once accounting —
+// completed jobs are never re-granted.
 //
 // The wire protocol is a strict request/response exchange initiated by
-// the worker; see protocol.go. cmd/crcsearch exposes both halves
-// (-mode coord | worker) and examples/distsearch runs the architecture
-// in-process over localhost.
+// the worker (heartbeats being the one fire-and-forget exception); see
+// protocol.go. cmd/crcsearch exposes both halves (-mode coord | worker,
+// with -checkpoint/-resume) and examples/distsearch runs the whole
+// architecture in-process over localhost, including a mid-sweep
+// coordinator kill and resume.
 package dist

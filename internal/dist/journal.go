@@ -1,0 +1,233 @@
+package dist
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"koopmancrc/internal/core"
+	"koopmancrc/internal/journal"
+	"koopmancrc/internal/poly"
+)
+
+// Journal record types written by a checkpointing coordinator. Grants
+// and requeues are observability and audit records (a resumed ledger
+// treats every non-done job as pending regardless); done records and the
+// periodic snapshot are what exactly-once resumption is rebuilt from.
+const (
+	recBegin   = "begin"
+	recGrant   = "grant"
+	recRequeue = "requeue"
+	recDone    = "done"
+)
+
+// beginRec pins the sweep's identity. A resume validates it so a
+// checkpoint directory can never silently continue a different search.
+type beginRec struct {
+	Spec    SearchSpec `json:"spec"`
+	JobSize uint64     `json:"job_size"`
+	Jobs    int        `json:"jobs"`
+}
+
+// grantRec records a job lease handed to a worker.
+type grantRec struct {
+	JobID  uint64 `json:"job_id"`
+	Worker string `json:"worker"`
+}
+
+// requeueRec records a lease expiry that sent a job back to the queue.
+type requeueRec struct {
+	JobID  uint64 `json:"job_id"`
+	Worker string `json:"worker,omitempty"`
+}
+
+// doneRec records one job's accepted result — the unit of exactly-once
+// accounting across a crash.
+type doneRec struct {
+	JobID     uint64      `json:"job_id"`
+	Worker    string      `json:"worker"`
+	Canonical uint64      `json:"canonical"`
+	Survivors []uint64    `json:"survivors,omitempty"`
+	ElapsedNS int64       `json:"elapsed_ns"`
+	Stages    []StageStat `json:"stages,omitempty"`
+}
+
+// ledgerSnap is the compacted whole-ledger state stored by snapshots.
+type ledgerSnap struct {
+	Begin     beginRec    `json:"begin"`
+	Done      []uint64    `json:"done"`
+	Requeues  int         `json:"requeues"`
+	Canonical uint64      `json:"canonical"`
+	Survivors []uint64    `json:"survivors,omitempty"`
+	Stages    []StageStat `json:"stages,omitempty"`
+}
+
+// checkBegin validates a journaled sweep identity against this
+// coordinator's configuration.
+func (c *Coordinator) checkBegin(b beginRec) error {
+	if !b.Spec.equal(c.cfg.Spec) {
+		return fmt.Errorf("dist: checkpoint is for spec %+v, coordinator configured %+v", b.Spec, c.cfg.Spec)
+	}
+	if b.JobSize != c.cfg.JobSize || b.Jobs != len(c.jobs) {
+		return fmt.Errorf("dist: checkpoint carved %d jobs of %d indices, coordinator carved %d of %d",
+			b.Jobs, b.JobSize, len(c.jobs), c.cfg.JobSize)
+	}
+	return nil
+}
+
+// markDoneFromJournal applies one recovered completion to the ledger,
+// ignoring duplicates exactly like the live recordResult path.
+func (c *Coordinator) markDoneFromJournal(d doneRec) error {
+	if d.JobID >= uint64(len(c.jobs)) {
+		return fmt.Errorf("dist: checkpoint done record for unknown job %d", d.JobID)
+	}
+	j := c.jobs[d.JobID]
+	if j.state == jobDone {
+		return nil
+	}
+	for _, k := range d.Survivors {
+		p, err := poly.FromKoopman(c.cfg.Spec.Width, k)
+		if err != nil {
+			return fmt.Errorf("dist: checkpoint job %d survivor %#x: %w", d.JobID, k, err)
+		}
+		c.survivors = append(c.survivors, p)
+	}
+	j.state = jobDone
+	j.worker = d.Worker
+	c.canonical += d.Canonical
+	c.stages = core.MergeStages(c.stages, fromWireStages(d.Stages))
+	c.doneJobs++
+	return nil
+}
+
+// restore rebuilds the ledger from a replayed journal: snapshot first,
+// then the WAL records above its watermark. Jobs without a done record
+// — including ones that were granted when the old coordinator died — go
+// back to pending.
+func (c *Coordinator) restore(rec *journal.Recovery) error {
+	seenBegin := false
+	if rec.Snapshot != nil {
+		var s ledgerSnap
+		if err := json.Unmarshal(rec.Snapshot, &s); err != nil {
+			return fmt.Errorf("dist: checkpoint snapshot: %w", err)
+		}
+		if err := c.checkBegin(s.Begin); err != nil {
+			return err
+		}
+		seenBegin = true
+		c.requeues = s.Requeues
+		c.canonical = s.Canonical
+		c.stages = fromWireStages(s.Stages)
+		for _, k := range s.Survivors {
+			p, err := poly.FromKoopman(c.cfg.Spec.Width, k)
+			if err != nil {
+				return fmt.Errorf("dist: checkpoint survivor %#x: %w", k, err)
+			}
+			c.survivors = append(c.survivors, p)
+		}
+		for _, id := range s.Done {
+			if id >= uint64(len(c.jobs)) {
+				return fmt.Errorf("dist: checkpoint marks unknown job %d done", id)
+			}
+			if c.jobs[id].state != jobDone {
+				c.jobs[id].state = jobDone
+				c.doneJobs++
+			}
+		}
+	}
+	for _, e := range rec.Entries {
+		switch e.Type {
+		case recBegin:
+			var b beginRec
+			if err := json.Unmarshal(e.Data, &b); err != nil {
+				return fmt.Errorf("dist: checkpoint begin record: %w", err)
+			}
+			if err := c.checkBegin(b); err != nil {
+				return err
+			}
+			seenBegin = true
+		case recGrant:
+			// Leases don't survive the coordinator that issued them.
+		case recRequeue:
+			c.requeues++
+		case recDone:
+			var d doneRec
+			if err := json.Unmarshal(e.Data, &d); err != nil {
+				return fmt.Errorf("dist: checkpoint done record: %w", err)
+			}
+			if err := c.markDoneFromJournal(d); err != nil {
+				return err
+			}
+		default:
+			c.cfg.Logf("dist: ignoring unknown checkpoint record type %q (seq %d)", e.Type, e.Seq)
+		}
+	}
+	if !seenBegin {
+		return fmt.Errorf("dist: checkpoint has no begin record (empty or foreign journal)")
+	}
+	c.resumed = c.doneJobs
+	// Rebuild the queue with only the jobs still owed.
+	c.queue = c.queue[:0]
+	for _, j := range c.jobs {
+		if j.state != jobDone {
+			j.state = jobPending
+			c.queue = append(c.queue, j.id)
+		}
+	}
+	return nil
+}
+
+// jnlAppendLocked appends one ledger record (c.mu held), compacting into
+// a snapshot every SnapshotEvery appends. Recovery-critical records
+// (begin, done) fsync before returning; audit records (grants, requeues)
+// are buffered and ride the next synced operation, keeping the per-
+// assignment fsync off the handout hot path. Journal failures are
+// reported but do not stop the sweep: the search result stays correct,
+// only resumability degrades.
+func (c *Coordinator) jnlAppendLocked(typ string, v any, sync bool) {
+	if c.jnl == nil {
+		return
+	}
+	var err error
+	if sync {
+		err = c.jnl.Append(typ, v)
+	} else {
+		err = c.jnl.AppendNoSync(typ, v)
+	}
+	if err != nil {
+		c.cfg.Logf("dist: checkpoint append failed: %v", err)
+		return
+	}
+	c.appendsSince++
+	if c.appendsSince >= c.cfg.SnapshotEvery {
+		c.snapshotLocked()
+	}
+}
+
+// snapshotLocked compacts the full ledger into the journal's snapshot
+// (c.mu held).
+func (c *Coordinator) snapshotLocked() {
+	if c.jnl == nil {
+		return
+	}
+	snap := ledgerSnap{
+		Begin:     beginRec{Spec: c.cfg.Spec, JobSize: c.cfg.JobSize, Jobs: len(c.jobs)},
+		Done:      make([]uint64, 0, c.doneJobs),
+		Requeues:  c.requeues,
+		Canonical: c.canonical,
+		Survivors: make([]uint64, len(c.survivors)),
+		Stages:    toWireStages(c.stages),
+	}
+	for _, j := range c.jobs {
+		if j.state == jobDone {
+			snap.Done = append(snap.Done, j.id)
+		}
+	}
+	for i, p := range c.survivors {
+		snap.Survivors[i] = p.Koopman()
+	}
+	if err := c.jnl.Snapshot(snap); err != nil {
+		c.cfg.Logf("dist: checkpoint snapshot failed: %v", err)
+		return
+	}
+	c.appendsSince = 0
+}

@@ -6,6 +6,10 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"sync"
+	"time"
+
+	"koopmancrc/internal/core"
 )
 
 // SearchSpec is the search every job belongs to, fixed for the lifetime
@@ -21,21 +25,66 @@ type SearchSpec struct {
 	Lengths []int `json:"lengths"`
 }
 
+// equal reports whether two specs describe the same search.
+func (s SearchSpec) equal(o SearchSpec) bool {
+	if s.Width != o.Width || s.MinHD != o.MinHD || len(s.Lengths) != len(o.Lengths) {
+		return false
+	}
+	for i, l := range s.Lengths {
+		if l != o.Lengths[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // Message types. The worker initiates every exchange and the coordinator
-// answers each worker message with exactly one reply:
+// answers each worker message with exactly one reply — except heartbeat,
+// which is fire-and-forget so a worker can renew its lease from a side
+// goroutine while the job computation (and the main request/reply loop)
+// is still in flight:
 //
-//	worker → coord: next   (idle, requesting work; carries worker id)
-//	worker → coord: result (a completed job; also an implicit next)
-//	coord → worker: job      (an assignment: spec + [start, end))
+//	worker → coord: next      (idle, requesting work; carries worker id)
+//	worker → coord: result    (a completed job; also an implicit next)
+//	worker → coord: heartbeat (mid-job lease renewal; no reply)
+//	coord → worker: job      (an assignment: spec + [start, end) + lease)
 //	coord → worker: wait     (no job available now — leases outstanding)
 //	coord → worker: shutdown (space fully covered; disconnect)
 const (
-	msgNext     = "next"
-	msgResult   = "result"
-	msgJob      = "job"
-	msgWait     = "wait"
-	msgShutdown = "shutdown"
+	msgNext      = "next"
+	msgResult    = "result"
+	msgHeartbeat = "heartbeat"
+	msgJob       = "job"
+	msgWait      = "wait"
+	msgShutdown  = "shutdown"
 )
+
+// StageStat is the wire (and journal) form of core.StageStats, so
+// per-stage drop statistics survive the trip from worker to coordinator.
+type StageStat struct {
+	Name      string `json:"name"`
+	In        uint64 `json:"in"`
+	Out       uint64 `json:"out"`
+	ElapsedNS int64  `json:"elapsed_ns"`
+}
+
+// toWireStages converts pipeline stage statistics to their wire form.
+func toWireStages(in []core.StageStats) []StageStat {
+	out := make([]StageStat, len(in))
+	for i, s := range in {
+		out[i] = StageStat{Name: s.Name, In: s.In, Out: s.Out, ElapsedNS: s.Elapsed.Nanoseconds()}
+	}
+	return out
+}
+
+// fromWireStages is the inverse of toWireStages.
+func fromWireStages(in []StageStat) []core.StageStats {
+	out := make([]core.StageStats, len(in))
+	for i, s := range in {
+		out[i] = core.StageStats{Name: s.Name, In: s.In, Out: s.Out, Elapsed: time.Duration(s.ElapsedNS)}
+	}
+	return out
+}
 
 // message is the single line-delimited JSON envelope for every exchange.
 // Survivors travel as raw Koopman values; the coordinator rebuilds poly.P
@@ -52,14 +101,24 @@ type message struct {
 	Canonical uint64   `json:"canonical"`
 	Survivors []uint64 `json:"survivors,omitempty"`
 	ElapsedNS int64    `json:"elapsed_ns"`
+	// LeaseNS, on a job message, is the coordinator's lease timeout:
+	// workers derive their heartbeat cadence from it (0 = coordinator
+	// predates heartbeats; don't send any).
+	LeaseNS int64 `json:"lease_ns,omitempty"`
+	// Stages, on a result message, carries the job's per-stage filter
+	// statistics for coordinator-side aggregation.
+	Stages []StageStat `json:"stages,omitempty"`
 }
 
 // wire frames line-delimited JSON messages over a connection. Decoding
 // streams through json.Decoder, so a result carrying millions of
 // survivors (a permissive filter on a large job) has no fixed line-size
-// cap that could wedge the job in a requeue loop.
+// cap that could wedge the job in a requeue loop. Sends are serialized
+// by a mutex because a worker's heartbeat goroutine writes concurrently
+// with its request/reply loop.
 type wire struct {
 	conn net.Conn
+	mu   sync.Mutex
 	enc  *json.Encoder
 	dec  *json.Decoder
 }
@@ -70,6 +129,8 @@ func newWire(conn net.Conn) *wire {
 
 // send writes one message as a single JSON line.
 func (w *wire) send(m *message) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
 	return w.enc.Encode(m)
 }
 

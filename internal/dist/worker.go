@@ -85,7 +85,7 @@ func (w *Worker) Run(ctx context.Context) (int, error) {
 			}
 			req = &message{Type: msgNext, Worker: w.cfg.ID}
 		case msgJob:
-			res, err := w.runJob(ctx, reply)
+			res, err := w.runJob(ctx, wr, reply)
 			if err != nil {
 				return jobs, err
 			}
@@ -98,8 +98,10 @@ func (w *Worker) Run(ctx context.Context) (int, error) {
 }
 
 // runJob filters one [start, end) slice of the space and packages the
-// shard result as the wire reply.
-func (w *Worker) runJob(ctx context.Context, m *message) (*message, error) {
+// shard result as the wire reply. While the computation runs, a side
+// goroutine heartbeats over the same connection at a third of the job's
+// lease so a slow-but-healthy worker keeps its lease on long jobs.
+func (w *Worker) runJob(ctx context.Context, wr *wire, m *message) (*message, error) {
 	if m.Spec == nil {
 		return nil, fmt.Errorf("dist: worker %s: job %d has no spec", w.cfg.ID, m.JobID)
 	}
@@ -111,6 +113,11 @@ func (w *Worker) runJob(ctx context.Context, m *message) (*message, error) {
 		Space:   space,
 		Filters: []core.Filter{core.HDFilter{Lengths: m.Spec.Lengths, MinHD: m.Spec.MinHD, Engine: core.EngineFast}},
 		Workers: w.cfg.Parallelism,
+	}
+	if m.LeaseNS > 0 {
+		stopHB := make(chan struct{})
+		defer close(stopHB)
+		go w.heartbeat(wr, m.JobID, time.Duration(m.LeaseNS), stopHB)
 	}
 	res, err := pl.Run(ctx, m.Start, m.End)
 	if err != nil {
@@ -129,7 +136,28 @@ func (w *Worker) runJob(ctx context.Context, m *message) (*message, error) {
 		Canonical: res.Canonical,
 		Survivors: survivors,
 		ElapsedNS: res.Elapsed.Nanoseconds(),
+		Stages:    toWireStages(res.Stages),
 	}, nil
+}
+
+// heartbeat renews the lease on jobID every lease/3 until stop closes.
+// Send failures are ignored: the main loop owns the connection and will
+// surface the error when it next touches the wire.
+func (w *Worker) heartbeat(wr *wire, jobID uint64, lease time.Duration, stop <-chan struct{}) {
+	interval := lease / 3
+	if interval < time.Millisecond {
+		interval = time.Millisecond
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			_ = wr.send(&message{Type: msgHeartbeat, Worker: w.cfg.ID, JobID: jobID})
+		}
+	}
 }
 
 // ctxErr prefers the context's error over a connection error it caused.

@@ -1,0 +1,29 @@
+// Package journal implements the durable checkpoint log underneath the
+// distributed search: an append-only, fsync'd, line-delimited-JSON
+// write-ahead log with snapshot compaction and crash-safe replay.
+//
+// A journal lives in one directory holding two files:
+//
+//	snapshot.jlog — at most one record: the latest compacted state,
+//	                replaced atomically (write-temp, fsync, rename).
+//	wal.jlog      — records appended (and fsync'd) since that snapshot.
+//
+// Every record is one line of the form
+//
+//	crc32c-hex SP {"seq":N,"type":"...","data":{...}} LF
+//
+// where the leading checksum is CRC-32C over the JSON body — the journal
+// dogfoods this repository's own internal/crc engines. Sequence numbers
+// increase strictly across the life of the journal; a snapshot stores
+// the sequence number of the last record it covers, so WAL records at or
+// below that watermark are redundant and skipped on replay. That makes
+// compaction crash-safe: the atomic snapshot rename is the commit point,
+// and a crash before the subsequent WAL truncation merely leaves
+// already-covered records that replay ignores.
+//
+// Recovery is deliberately forgiving about the tail and strict about the
+// snapshot: a torn final WAL line (crash mid-append) or a record failing
+// its CRC causes the WAL to be truncated at the last durable record — a
+// clean loss of the unflushed suffix, never a wedge — while a corrupt
+// snapshot is unrecoverable state and surfaces as an error.
+package journal

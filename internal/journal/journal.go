@@ -1,0 +1,334 @@
+package journal
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"sync"
+
+	"koopmancrc/internal/crc"
+)
+
+const (
+	snapshotName = "snapshot.jlog"
+	walName      = "wal.jlog"
+)
+
+// lineCRC protects every record line. CRC-32C is the catalogue's iSCSI
+// polynomial; using our own engine here is deliberate dogfooding.
+var lineCRC = crc.New(crc.CRC32C)
+
+// Record is one journal entry. Seq increases strictly across the life of
+// a journal, including across snapshot compactions.
+type Record struct {
+	Seq  uint64          `json:"seq"`
+	Type string          `json:"type"`
+	Data json.RawMessage `json:"data,omitempty"`
+}
+
+// snapType is the reserved Type of the record in snapshot.jlog.
+const snapType = "snapshot"
+
+// Recovery is the state reconstructed from a journal directory.
+type Recovery struct {
+	// Snapshot is the latest compacted state, nil if none was taken.
+	Snapshot json.RawMessage
+	// SnapshotSeq is the sequence watermark the snapshot covers.
+	SnapshotSeq uint64
+	// Entries are the WAL records after the watermark, in append order.
+	Entries []Record
+	// Truncated counts WAL bytes discarded during recovery: a torn final
+	// line or a suffix starting at the first record whose CRC failed.
+	Truncated int64
+}
+
+// Journal is an open, writable journal. Append and Snapshot are safe for
+// concurrent use.
+type Journal struct {
+	mu     sync.Mutex
+	dir    string
+	wal    *os.File
+	seq    uint64
+	closed bool
+	// failed is sticky: once a WAL write or sync errors, the on-disk
+	// tail state is unknown (a partial line may or may not be there),
+	// so further appends could reuse a sequence number and make replay
+	// truncate durable records as a regression. The journal fails stop
+	// instead; recovery of the directory happens at the next Open.
+	failed error
+}
+
+// encodeLine renders a record as "crc32c-hex SP json LF".
+func encodeLine(rec Record) ([]byte, error) {
+	body, err := json.Marshal(rec)
+	if err != nil {
+		return nil, err
+	}
+	return []byte(fmt.Sprintf("%08x %s\n", lineCRC.Checksum(body), body)), nil
+}
+
+// decodeLine parses and CRC-verifies one line (without its newline).
+func decodeLine(line []byte) (Record, error) {
+	var rec Record
+	if len(line) < 10 || line[8] != ' ' {
+		return rec, fmt.Errorf("journal: malformed record line")
+	}
+	want, err := strconv.ParseUint(string(line[:8]), 16, 32)
+	if err != nil {
+		return rec, fmt.Errorf("journal: bad record checksum field: %w", err)
+	}
+	body := line[9:]
+	if got := lineCRC.Checksum(body); got != uint32(want) {
+		return rec, fmt.Errorf("journal: record checksum mismatch: %08x != %08x", got, want)
+	}
+	if err := json.Unmarshal(body, &rec); err != nil {
+		return rec, fmt.Errorf("journal: bad record body: %w", err)
+	}
+	return rec, nil
+}
+
+// scanWAL walks raw WAL bytes, returning the records after the snapshot
+// watermark and the byte length of the durable prefix. Scanning stops at
+// the first torn line (no trailing newline), checksum failure, or
+// sequence regression; everything after that point is untrusted.
+func scanWAL(data []byte, after uint64) (entries []Record, validLen int64) {
+	last := uint64(0)
+	for len(data) > 0 {
+		nl := bytes.IndexByte(data, '\n')
+		if nl < 0 {
+			break // torn final line
+		}
+		rec, err := decodeLine(data[:nl])
+		if err != nil {
+			break
+		}
+		if rec.Seq <= last {
+			break
+		}
+		last = rec.Seq
+		validLen += int64(nl + 1)
+		data = data[nl+1:]
+		if rec.Seq <= after {
+			// Covered by the snapshot already: a crash landed between the
+			// snapshot rename and the WAL truncation. Durable, redundant.
+			continue
+		}
+		entries = append(entries, rec)
+	}
+	return entries, validLen
+}
+
+// readState loads the snapshot and scans the WAL without mutating disk.
+func readState(dir string) (*Recovery, int64, error) {
+	rec := &Recovery{}
+	snap, err := os.ReadFile(filepath.Join(dir, snapshotName))
+	switch {
+	case err == nil:
+		r, derr := decodeLine(bytes.TrimSuffix(snap, []byte("\n")))
+		if derr != nil {
+			return nil, 0, fmt.Errorf("journal: corrupt snapshot in %s: %w", dir, derr)
+		}
+		rec.Snapshot = r.Data
+		rec.SnapshotSeq = r.Seq
+	case !os.IsNotExist(err):
+		return nil, 0, err
+	}
+	data, err := os.ReadFile(filepath.Join(dir, walName))
+	if err != nil && !os.IsNotExist(err) {
+		return nil, 0, err
+	}
+	entries, validLen := scanWAL(data, rec.SnapshotSeq)
+	rec.Entries = entries
+	rec.Truncated = int64(len(data)) - validLen
+	return rec, validLen, nil
+}
+
+// Read replays a journal directory without opening it for writing — safe
+// for inspection while no writer is active. A torn or corrupt WAL tail
+// is ignored (reported in Truncated) but not truncated on disk.
+func Read(dir string) (*Recovery, error) {
+	if _, err := os.Stat(dir); err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	rec, _, err := readState(dir)
+	return rec, err
+}
+
+// Open creates the directory if needed, replays the journal (truncating
+// any torn or corrupt WAL tail so the log ends at its last durable
+// record) and returns the journal opened for appending alongside the
+// recovered state.
+func Open(dir string) (*Journal, *Recovery, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("journal: %w", err)
+	}
+	rec, validLen, err := readState(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	wal, err := os.OpenFile(filepath.Join(dir, walName), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("journal: %w", err)
+	}
+	if rec.Truncated > 0 {
+		if err := wal.Truncate(validLen); err != nil {
+			wal.Close()
+			return nil, nil, fmt.Errorf("journal: truncating corrupt tail: %w", err)
+		}
+		if err := wal.Sync(); err != nil {
+			wal.Close()
+			return nil, nil, fmt.Errorf("journal: %w", err)
+		}
+	}
+	seq := rec.SnapshotSeq
+	if n := len(rec.Entries); n > 0 {
+		seq = rec.Entries[n-1].Seq
+	}
+	return &Journal{dir: dir, wal: wal, seq: seq}, rec, nil
+}
+
+// Seq returns the sequence number of the last durable record.
+func (j *Journal) Seq() uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.seq
+}
+
+// Append durably writes one record: the line is written and fsync'd
+// before Append returns, so an acknowledged record survives a crash.
+func (j *Journal) Append(typ string, v any) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.appendLocked(typ, v, true)
+}
+
+// AppendNoSync writes one record without forcing it to disk. The record
+// becomes durable with the next synced operation on the journal (a
+// plain Append, a Snapshot, or Close); until then a crash may lose it —
+// the right trade for high-rate audit records whose loss is benign.
+func (j *Journal) AppendNoSync(typ string, v any) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.appendLocked(typ, v, false)
+}
+
+func (j *Journal) appendLocked(typ string, v any, sync bool) error {
+	if j.closed {
+		return fmt.Errorf("journal: appending to closed journal")
+	}
+	if j.failed != nil {
+		return j.failed
+	}
+	if typ == snapType {
+		return fmt.Errorf("journal: record type %q is reserved", snapType)
+	}
+	var data json.RawMessage
+	if v != nil {
+		b, err := json.Marshal(v)
+		if err != nil {
+			return fmt.Errorf("journal: %w", err)
+		}
+		data = b
+	}
+	line, err := encodeLine(Record{Seq: j.seq + 1, Type: typ, Data: data})
+	if err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	if _, err := j.wal.Write(line); err != nil {
+		j.failed = fmt.Errorf("journal: wal write failed, journal disabled: %w", err)
+		return j.failed
+	}
+	if sync {
+		if err := j.wal.Sync(); err != nil {
+			j.failed = fmt.Errorf("journal: wal sync failed, journal disabled: %w", err)
+			return j.failed
+		}
+	}
+	j.seq++
+	return nil
+}
+
+// Snapshot compacts the journal: v becomes the new snapshot (covering
+// every record appended so far) and the WAL is reset. The snapshot file
+// is replaced atomically and the rename is the commit point — a crash at
+// any step leaves either the old state or the new one, never a mix,
+// because replay skips WAL records at or below the snapshot watermark.
+func (j *Journal) Snapshot(v any) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return fmt.Errorf("journal: snapshotting closed journal")
+	}
+	if j.failed != nil {
+		// The WAL tail state is unknown; a snapshot over it could race
+		// a lingering half-line with the watermark. Fail stop.
+		return j.failed
+	}
+	b, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	line, err := encodeLine(Record{Seq: j.seq, Type: snapType, Data: b})
+	if err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	tmp := filepath.Join(j.dir, snapshotName+".tmp")
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	if _, err := f.Write(line); err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("journal: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(j.dir, snapshotName)); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("journal: %w", err)
+	}
+	if err := syncDir(j.dir); err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	// Committed. The WAL's contents are now redundant; dropping them is
+	// pure compaction (and losing the race to a crash here is harmless).
+	if err := j.wal.Truncate(0); err != nil {
+		return fmt.Errorf("journal: resetting wal: %w", err)
+	}
+	return j.wal.Sync()
+}
+
+// Close fsyncs and closes the WAL. Further appends fail.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return nil
+	}
+	j.closed = true
+	err := j.wal.Sync()
+	if cerr := j.wal.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// syncDir fsyncs a directory so a rename inside it is durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

@@ -1,0 +1,333 @@
+package journal
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+type payload struct {
+	N int    `json:"n"`
+	S string `json:"s,omitempty"`
+}
+
+func mustOpen(t *testing.T, dir string) (*Journal, *Recovery) {
+	t.Helper()
+	j, rec, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return j, rec
+}
+
+func appendN(t *testing.T, j *Journal, typ string, from, to int) {
+	t.Helper()
+	for i := from; i < to; i++ {
+		if err := j.Append(typ, payload{N: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func entryNs(t *testing.T, entries []Record) []int {
+	t.Helper()
+	out := make([]int, len(entries))
+	for i, e := range entries {
+		var p payload
+		if err := json.Unmarshal(e.Data, &p); err != nil {
+			t.Fatal(err)
+		}
+		out[i] = p.N
+	}
+	return out
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	j, rec := mustOpen(t, dir)
+	if rec.Snapshot != nil || len(rec.Entries) != 0 {
+		t.Fatalf("fresh journal recovered state: %+v", rec)
+	}
+	appendN(t, j, "ev", 0, 5)
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, rec2 := mustOpen(t, dir)
+	defer j2.Close()
+	if rec2.Truncated != 0 {
+		t.Errorf("clean journal truncated %d bytes", rec2.Truncated)
+	}
+	if got := entryNs(t, rec2.Entries); len(got) != 5 {
+		t.Fatalf("replayed %d entries, want 5: %v", len(got), got)
+	}
+	for i, e := range rec2.Entries {
+		if e.Seq != uint64(i+1) || e.Type != "ev" {
+			t.Errorf("entry %d = seq %d type %q, want seq %d type ev", i, e.Seq, e.Type, i+1)
+		}
+	}
+	// Appends continue the sequence after reopen.
+	if err := j2.Append("ev", payload{N: 5}); err != nil {
+		t.Fatal(err)
+	}
+	if j2.Seq() != 6 {
+		t.Errorf("seq after reopen+append = %d, want 6", j2.Seq())
+	}
+}
+
+func TestReadMatchesOpen(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := mustOpen(t, dir)
+	appendN(t, j, "ev", 0, 3)
+	j.Close()
+
+	rec, err := Read(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ns := entryNs(t, rec.Entries); len(ns) != 3 || ns[0] != 0 || ns[2] != 2 {
+		t.Errorf("Read entries = %v", ns)
+	}
+	if _, err := Read(filepath.Join(dir, "nope")); err == nil {
+		t.Error("Read on a missing directory should error")
+	}
+}
+
+func TestTornTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := mustOpen(t, dir)
+	appendN(t, j, "ev", 0, 3)
+	j.Close()
+
+	// Crash mid-append: a partial line with no trailing newline.
+	wal := filepath.Join(dir, walName)
+	f, err := os.OpenFile(wal, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`deadbeef {"seq":4,"type":"ev","da`)
+	f.Close()
+
+	j2, rec := mustOpen(t, dir)
+	if rec.Truncated == 0 {
+		t.Error("torn tail not reported in Truncated")
+	}
+	if got := entryNs(t, rec.Entries); len(got) != 3 {
+		t.Fatalf("entries after torn tail = %v, want the 3 durable records", got)
+	}
+	// The torn bytes are gone from disk and appends resume cleanly.
+	if err := j2.Append("ev", payload{N: 3}); err != nil {
+		t.Fatal(err)
+	}
+	j2.Close()
+	rec2, err := Read(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := entryNs(t, rec2.Entries); len(got) != 4 || got[3] != 3 {
+		t.Errorf("entries after repair+append = %v", got)
+	}
+	if rec2.Truncated != 0 {
+		t.Errorf("repair left %d corrupt bytes on disk", rec2.Truncated)
+	}
+}
+
+func TestBadRecordCRCTruncatesSuffix(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := mustOpen(t, dir)
+	appendN(t, j, "ev", 0, 4)
+	j.Close()
+
+	// Flip one payload byte inside the third line; records 3 and 4 are
+	// untrusted from that point, records 1 and 2 must survive.
+	wal := filepath.Join(dir, walName)
+	data, err := os.ReadFile(wal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lineLen := len(data) / 4
+	data[2*lineLen+15] ^= 0x01
+	if err := os.WriteFile(wal, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, rec := mustOpen(t, dir)
+	defer j2.Close()
+	if rec.Truncated == 0 {
+		t.Error("corrupt record not reported in Truncated")
+	}
+	if got := entryNs(t, rec.Entries); len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Errorf("entries after mid-log corruption = %v, want [0 1]", got)
+	}
+}
+
+func TestSnapshotCompaction(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := mustOpen(t, dir)
+	appendN(t, j, "ev", 0, 10)
+	if err := j.Snapshot(payload{N: 42, S: "state"}); err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, j, "ev", 10, 12)
+	j.Close()
+
+	_, rec := mustOpen(t, dir)
+	var snap payload
+	if err := json.Unmarshal(rec.Snapshot, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.N != 42 || snap.S != "state" {
+		t.Errorf("snapshot = %+v", snap)
+	}
+	if rec.SnapshotSeq != 10 {
+		t.Errorf("snapshot watermark = %d, want 10", rec.SnapshotSeq)
+	}
+	if got := entryNs(t, rec.Entries); len(got) != 2 || got[0] != 10 || got[1] != 11 {
+		t.Errorf("post-snapshot entries = %v, want [10 11]", got)
+	}
+	// Compaction actually shrank the WAL to just the two tail records.
+	fi, err := os.Stat(filepath.Join(dir, walName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() == 0 || fi.Size() > 2*200 {
+		t.Errorf("wal size after compaction = %d bytes", fi.Size())
+	}
+}
+
+func TestCrashBetweenSnapshotAndWALReset(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := mustOpen(t, dir)
+	appendN(t, j, "ev", 0, 6)
+	preSnap, err := os.ReadFile(filepath.Join(dir, walName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Snapshot(payload{N: 6}); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	// Simulate a crash after the snapshot rename committed but before
+	// the WAL reset: restore the pre-snapshot WAL bytes.
+	if err := os.WriteFile(filepath.Join(dir, walName), preSnap, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, rec := mustOpen(t, dir)
+	if rec.Snapshot == nil || rec.SnapshotSeq != 6 {
+		t.Fatalf("snapshot not recovered: %+v", rec)
+	}
+	if len(rec.Entries) != 0 {
+		t.Errorf("records covered by the snapshot replayed again: %v", entryNs(t, rec.Entries))
+	}
+	// New appends continue above the watermark, not over old sequence
+	// numbers.
+	if err := j2.Append("ev", payload{N: 7}); err != nil {
+		t.Fatal(err)
+	}
+	j2.Close()
+	rec2, err := Read(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec2.Entries) != 1 || rec2.Entries[0].Seq != 7 {
+		t.Errorf("post-crash append replayed as %+v, want one record at seq 7", rec2.Entries)
+	}
+}
+
+func TestCorruptSnapshotErrors(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := mustOpen(t, dir)
+	appendN(t, j, "ev", 0, 2)
+	if err := j.Snapshot(payload{N: 2}); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	snap := filepath.Join(dir, snapshotName)
+	data, err := os.ReadFile(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xFF
+	if err := os.WriteFile(snap, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Open(dir); err == nil {
+		t.Error("corrupt snapshot must surface as an error, not silent loss")
+	}
+}
+
+func TestReservedSnapshotType(t *testing.T) {
+	j, _ := mustOpen(t, t.TempDir())
+	defer j.Close()
+	if err := j.Append("snapshot", payload{N: 1}); err == nil {
+		t.Error("appending the reserved snapshot type should error")
+	}
+}
+
+func TestAppendNoSyncDurableAfterNextSync(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := mustOpen(t, dir)
+	if err := j.AppendNoSync("audit", payload{N: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.AppendNoSync("audit", payload{N: 1}); err != nil {
+		t.Fatal(err)
+	}
+	// A synced append (or Close) makes the buffered records durable too.
+	if err := j.Append("ev", payload{N: 2}); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	rec, err := Read(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := entryNs(t, rec.Entries); len(got) != 3 || got[0] != 0 || got[2] != 2 {
+		t.Errorf("entries = %v, want [0 1 2]", got)
+	}
+	for i, e := range rec.Entries {
+		if e.Seq != uint64(i+1) {
+			t.Errorf("entry %d seq = %d, want %d (no-sync appends share the sequence)", i, e.Seq, i+1)
+		}
+	}
+}
+
+func TestWriteFailureIsSticky(t *testing.T) {
+	j, _ := mustOpen(t, t.TempDir())
+	appendN(t, j, "ev", 0, 2)
+	// Force every subsequent write to fail by yanking the fd out from
+	// under the journal.
+	j.wal.Close()
+	first := j.Append("ev", payload{N: 2})
+	if first == nil {
+		t.Fatal("append on a dead fd should error")
+	}
+	// The failure must latch: no later append or snapshot may succeed,
+	// or a reused sequence number would make recovery truncate durable
+	// records as a regression.
+	if err := j.Append("ev", payload{N: 3}); err == nil {
+		t.Error("append after a write failure should keep failing")
+	}
+	if err := j.Snapshot(payload{N: 3}); err == nil {
+		t.Error("snapshot after a write failure should fail")
+	}
+	if j.Seq() != 2 {
+		t.Errorf("seq advanced to %d across failed appends, want 2", j.Seq())
+	}
+}
+
+func TestAppendAfterCloseFails(t *testing.T) {
+	j, _ := mustOpen(t, t.TempDir())
+	j.Close()
+	if err := j.Append("ev", payload{N: 1}); err == nil {
+		t.Error("append after Close should error")
+	}
+	if err := j.Snapshot(payload{N: 1}); err == nil {
+		t.Error("snapshot after Close should error")
+	}
+}
