@@ -5,10 +5,19 @@
 //	crcsearch -mode coord -listen :9000 -width 16 -hd 6 -lengths 16,64,128 -jobsize 1024
 //	crcsearch -mode worker -connect host:9000 -id alpha
 //
+// With -target the coordinator sizes each grant adaptively so every job
+// takes roughly that wall time per worker (clamped to [-minjobsize,
+// -maxjobsize]), keeping stragglers from dominating tail latency:
+//
+//	crcsearch -mode coord -target 30s -minjobsize 64 -maxjobsize 1048576 ...
+//
 // Long sweeps should run the coordinator with a durable checkpoint so an
-// interrupted search (crash, SIGINT) resumes instead of restarting:
+// interrupted search (crash, SIGINT) resumes instead of restarting, and
+// so progress can be inspected read-only without touching the running
+// coordinator:
 //
 //	crcsearch -mode coord -checkpoint /var/lib/crcsearch/w32 ...
+//	crcsearch -mode status -checkpoint /var/lib/crcsearch/w32
 //	crcsearch -mode coord -checkpoint /var/lib/crcsearch/w32 -resume ...
 package main
 
@@ -38,7 +47,7 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("crcsearch", flag.ContinueOnError)
-	mode := fs.String("mode", "local", "local|coord|worker")
+	mode := fs.String("mode", "local", "local|coord|worker|status")
 	width := fs.Int("width", 16, "CRC width in bits")
 	minHD := fs.Int("hd", 6, "minimum Hamming distance to demand")
 	lengths := fs.String("lengths", "16,64,128", "increasing-length filter schedule (bits)")
@@ -46,10 +55,13 @@ func run(args []string) error {
 	endIdx := fs.Uint64("end", 0, "end raw index, 0 = whole space (local mode)")
 	listen := fs.String("listen", "127.0.0.1:9000", "coordinator listen address")
 	connect := fs.String("connect", "127.0.0.1:9000", "coordinator address (worker mode)")
-	id := fs.String("id", "worker", "worker id")
-	jobSize := fs.Uint64("jobsize", 4096, "raw indices per job (coord mode)")
+	id := fs.String("id", "", "worker id, unique per fleet member (default: hostname-pid)")
+	jobSize := fs.Uint64("jobsize", 4096, "raw indices per job before throughput data exists (coord mode)")
+	target := fs.Duration("target", 0, "adaptive job sizing: target wall time per job, 0 = fixed -jobsize (coord mode)")
+	minJob := fs.Uint64("minjobsize", 0, "smallest adaptive grant in raw indices, 0 = 1 (coord mode)")
+	maxJob := fs.Uint64("maxjobsize", 0, "largest adaptive grant in raw indices, 0 = 64*jobsize (coord mode)")
 	lease := fs.Duration("lease", 30*time.Second, "job lease timeout (coord mode)")
-	checkpoint := fs.String("checkpoint", "", "durable journal directory for checkpoint/resume (coord mode)")
+	checkpoint := fs.String("checkpoint", "", "durable journal directory for checkpoint/resume/status")
 	resume := fs.Bool("resume", false, "resume the sweep journaled in -checkpoint (coord mode)")
 	par := fs.Int("parallelism", 0, "filter goroutines per machine, 0 = GOMAXPROCS (local and worker modes)")
 	if err := fs.Parse(args); err != nil {
@@ -66,9 +78,23 @@ func run(args []string) error {
 	case "local":
 		return runLocal(*width, *minHD, sched, *startIdx, *endIdx, *par)
 	case "coord":
-		return runCoord(*listen, *width, *minHD, sched, *jobSize, *lease, *checkpoint, *resume)
+		return runCoord(*listen, dist.CoordinatorConfig{
+			Spec:          dist.SearchSpec{Width: *width, MinHD: *minHD, Lengths: sched},
+			JobSize:       *jobSize,
+			TargetJobTime: *target,
+			MinJobSize:    *minJob,
+			MaxJobSize:    *maxJob,
+			LeaseTimeout:  *lease,
+			CheckpointDir: *checkpoint,
+			Resume:        *resume,
+		})
 	case "worker":
 		return runWorker(*connect, *id, *par)
+	case "status":
+		if *checkpoint == "" {
+			return fmt.Errorf("-mode status requires -checkpoint")
+		}
+		return runStatus(*checkpoint)
 	default:
 		return fmt.Errorf("unknown mode %q", *mode)
 	}
@@ -98,17 +124,12 @@ func runLocal(width, minHD int, lengths []int, start, end uint64, par int) error
 	return nil
 }
 
-func runCoord(listen string, width, minHD int, lengths []int, jobSize uint64, lease time.Duration, checkpoint string, resume bool) error {
-	c, err := dist.NewCoordinator(listen, dist.CoordinatorConfig{
-		Spec:          dist.SearchSpec{Width: width, MinHD: minHD, Lengths: lengths},
-		JobSize:       jobSize,
-		LeaseTimeout:  lease,
-		CheckpointDir: checkpoint,
-		Resume:        resume,
-		Logf: func(format string, args ...any) {
-			fmt.Fprintf(os.Stderr, format+"\n", args...)
-		},
-	})
+func runCoord(listen string, cfg dist.CoordinatorConfig) error {
+	checkpoint := cfg.CheckpointDir
+	cfg.Logf = func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, format+"\n", args...)
+	}
+	c, err := dist.NewCoordinator(listen, cfg)
 	if err != nil {
 		return err
 	}
@@ -140,7 +161,7 @@ func runCoord(listen string, width, minHD int, lengths []int, jobSize uint64, le
 			if checkpoint != "" {
 				done, total := c.Progress()
 				fmt.Fprintf(os.Stderr,
-					"checkpoint saved: %d/%d jobs done; continue with -mode coord -checkpoint %s -resume\n",
+					"checkpoint saved: %d/%d indices done; inspect with -mode status, continue with -mode coord -checkpoint %s -resume\n",
 					done, total, checkpoint)
 				return nil
 			}
@@ -176,7 +197,47 @@ func runWorker(connect, id string, par int) error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "worker %s completed %d jobs\n", id, n)
+	fmt.Fprintf(os.Stderr, "worker %s completed %d jobs\n", w.ID(), n)
+	return nil
+}
+
+// runStatus replays a checkpoint journal read-only and prints the sweep
+// status: job/index coverage, per-worker throughput and sizing, requeue
+// history and an ETA. It never contacts a running coordinator.
+func runStatus(checkpoint string) error {
+	st, err := dist.ReadStatus(checkpoint)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("sweep:     width=%d hd>=%d lengths=%v\n", st.Spec.Width, st.Spec.MinHD, st.Spec.Lengths)
+	fmt.Printf("space:     %d raw indices, base job size %d\n", st.TotalIndices, st.JobSize)
+	pct := 0.0
+	if st.TotalIndices > 0 {
+		pct = 100 * float64(st.DoneIndices) / float64(st.TotalIndices)
+	}
+	fmt.Printf("jobs:      %d carved: %d done, %d pending\n", st.CarvedJobs, st.DoneJobs, st.PendingJobs)
+	fmt.Printf("indices:   %d/%d done (%.1f%%); %d pending in carved jobs, %d uncarved\n",
+		st.DoneIndices, st.TotalIndices, pct, st.PendingIndices, st.UncarvedIndices)
+	fmt.Printf("candidates: %d canonical evaluated, %d survivors so far\n", st.Canonical, st.Survivors)
+	fmt.Printf("requeues:  %d\n", st.Requeues)
+	for _, rq := range st.RequeueLog {
+		fmt.Printf("  job %-6d lost by %-12q at %s\n", rq.JobID, rq.Worker, rq.Time.Format(time.RFC3339))
+	}
+	fmt.Printf("workers:   %d seen\n", len(st.Workers))
+	for _, w := range st.Workers {
+		fmt.Printf("  %-12s jobs=%-5d canonical=%-10d compute=%-12v rate=%8.1f cand/s  grant=%d\n",
+			w.ID, w.JobsDone, w.Canonical, w.Compute.Round(time.Millisecond), w.Rate, w.LastGrantSize)
+	}
+	fmt.Printf("activity:  started %s, last record %s (%v active)\n",
+		st.Started.Format(time.RFC3339), st.LastActivity.Format(time.RFC3339), st.Active.Round(time.Second))
+	switch {
+	case st.Complete:
+		fmt.Println("state:     complete")
+	case st.IndexRate > 0:
+		fmt.Printf("state:     in progress; ~%.0f indices/s, ETA %v\n", st.IndexRate, st.ETA.Round(time.Second))
+	default:
+		fmt.Println("state:     in progress; too little data for an ETA")
+	}
 	return nil
 }
 

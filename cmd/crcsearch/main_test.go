@@ -36,6 +36,20 @@ func TestResumeRequiresCheckpoint(t *testing.T) {
 	}
 }
 
+func TestStatusRequiresCheckpoint(t *testing.T) {
+	if err := run([]string{"-mode", "status"}); err == nil {
+		t.Error("-mode status without -checkpoint should error")
+	}
+}
+
+func TestStatusEmptyCheckpointErrors(t *testing.T) {
+	// A directory with no journal has no sweep to report on; status
+	// must fail loudly instead of printing an empty sweep.
+	if err := run([]string{"-mode", "status", "-checkpoint", t.TempDir()}); err == nil {
+		t.Error("-mode status on an empty checkpoint should error")
+	}
+}
+
 func TestResumeEmptyCheckpointErrors(t *testing.T) {
 	// An empty journal directory has no sweep to continue; the
 	// coordinator must refuse before binding the listener.

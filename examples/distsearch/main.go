@@ -4,11 +4,16 @@
 // must resume the sweep, not restart it from index zero. This example
 // runs the coordinator/worker architecture in-process on the complete
 // width-14 space and deliberately kills the coordinator halfway: the
-// first coordinator journals every grant and completion to a checkpoint
-// directory, dies mid-sweep, and a second coordinator resumes from the
+// first coordinator journals every grant, completion and sizing
+// decision to a checkpoint directory, dies mid-sweep, the orphaned
+// journal is inspected read-only with dist.ReadStatus (what `crcsearch
+// -mode status` prints), and a second coordinator resumes from the
 // journal and finishes — with exactly-once accounting and a census
 // identical to an uninterrupted run. Workers renew their leases with
-// mid-job heartbeats, so slow jobs don't trigger spurious requeues.
+// mid-job heartbeats that carry live candidate counts, feeding the
+// coordinator's adaptive job sizing: each grant targets a fixed wall
+// time per worker, so stragglers get smaller jobs instead of dominating
+// tail latency.
 package main
 
 import (
@@ -34,10 +39,16 @@ func main() {
 	fmt.Printf("searching width-%d space for HD>=%d at %d bits; checkpoint in %s\n",
 		spec.Width, spec.MinHD, spec.Lengths[len(spec.Lengths)-1], checkpoint)
 
-	// Phase 1: a coordinator with a durable journal, killed mid-sweep.
+	// Phase 1: a coordinator with a durable journal and adaptive job
+	// sizing (each grant targets ~100ms of worker wall time, clamped so
+	// the demo sweep still spans enough jobs to die in the middle of),
+	// killed mid-sweep.
 	coord, err := dist.NewCoordinator("127.0.0.1:0", dist.CoordinatorConfig{
 		Spec:          spec,
-		JobSize:       512,
+		JobSize:       256,
+		TargetJobTime: 100 * time.Millisecond,
+		MinJobSize:    64,
+		MaxJobSize:    512,
 		LeaseTimeout:  10 * time.Second,
 		CheckpointDir: checkpoint,
 	})
@@ -48,23 +59,45 @@ func main() {
 	deadline := time.Now().Add(2 * time.Minute)
 	for {
 		done, total := coord.Progress()
-		if done >= total/2 {
-			fmt.Printf("\n--- killing coordinator at %d/%d jobs ---\n\n", done, total)
+		if done >= total/8 {
+			fmt.Printf("\n--- killing coordinator at %d/%d indices ---\n\n", done, total)
 			break
 		}
 		if time.Now().After(deadline) {
-			log.Fatalf("phase 1 stalled at %d/%d jobs (workers dead?)", done, total)
+			log.Fatalf("phase 1 stalled at %d/%d indices (workers dead?)", done, total)
 		}
-		time.Sleep(10 * time.Millisecond)
+		time.Sleep(time.Millisecond)
 	}
 	coord.Close() // the "crash": workers are cut off, the journal is flushed
 	stopWorkers()
 
+	// Interlude: inspect the orphaned checkpoint read-only — exactly
+	// what `crcsearch -mode status -checkpoint DIR` does for an
+	// operator who cannot (or must not) attach to a live coordinator.
+	st, err := dist.ReadStatus(checkpoint)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("status from journal: %d/%d jobs done, %d/%d indices (%d requeues, %d survivors so far)\n",
+		st.DoneJobs, st.CarvedJobs, st.DoneIndices, st.TotalIndices, st.Requeues, st.Survivors)
+	for _, w := range st.Workers {
+		fmt.Printf("  worker %-6s jobs=%-3d rate~%.0f cand/s  current grant=%d indices\n",
+			w.ID, w.JobsDone, w.Rate, w.LastGrantSize)
+	}
+	if st.ETA > 0 {
+		fmt.Printf("  estimated remaining sweep time: %v\n", st.ETA.Round(time.Millisecond))
+	}
+
 	// Phase 2: a fresh coordinator resumes from the journal. Completed
-	// jobs are restored from disk; only the remainder is re-leased.
+	// jobs are restored from disk — along with each worker's throughput
+	// estimate, so sizing picks up where it left off — and only the
+	// remainder is re-leased.
 	coord2, err := dist.NewCoordinator("127.0.0.1:0", dist.CoordinatorConfig{
 		Spec:          spec,
-		JobSize:       512,
+		JobSize:       256,
+		TargetJobTime: 100 * time.Millisecond,
+		MinJobSize:    64,
+		MaxJobSize:    512,
 		LeaseTimeout:  10 * time.Second,
 		CheckpointDir: checkpoint,
 		Resume:        true,
@@ -74,7 +107,7 @@ func main() {
 	}
 	defer coord2.Close()
 	done, total := coord2.Progress()
-	fmt.Printf("resumed: %d/%d jobs already done on disk\n", done, total)
+	fmt.Printf("resumed: %d/%d indices already done on disk\n", done, total)
 	stopWorkers2 := runWorkers(coord2.Addr())
 	defer stopWorkers2()
 

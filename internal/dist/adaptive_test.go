@@ -1,0 +1,267 @@
+package dist_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"koopmancrc/internal/dist"
+)
+
+// scripted drives one raw protocol client through a sweep one
+// assignment at a time, reporting genuine results with a crafted
+// per-job elapsed time — an "artificial" worker whose throughput the
+// coordinator observes without the test paying real wall time.
+type scripted struct {
+	t         *testing.T
+	c         *rawClient
+	id        string
+	elapsedNS int64
+	sizes     []uint64 // raw-index size of every job granted, in order
+	pending   map[string]any
+	finished  bool
+}
+
+// step processes at most one assignment: request (or pick up the
+// pending reply), and if it is a job, record its size and report a
+// genuine result carrying the scripted elapsed time.
+func (s *scripted) step(spec dist.SearchSpec) {
+	s.t.Helper()
+	var reply map[string]any
+	if s.pending != nil {
+		reply = s.pending
+		s.pending = nil
+	} else {
+		s.c.send(map[string]any{"type": "next", "worker": s.id})
+		reply = s.c.recv()
+	}
+	switch reply["type"] {
+	case "shutdown":
+		s.finished = true
+	case "wait":
+		// Poll again on the next step.
+	case "job":
+		start, end := uint64(reply["start"].(float64)), uint64(reply["end"].(float64))
+		s.sizes = append(s.sizes, end-start)
+		canonical, survivors := computeJob(s.t, spec, start, end)
+		s.c.send(map[string]any{
+			"type": "result", "worker": s.id, "job_id": reply["job_id"],
+			"canonical": canonical, "survivors": survivors, "elapsed_ns": s.elapsedNS,
+		})
+		s.pending = s.c.recv() // the result's reply is the next assignment
+	default:
+		s.t.Fatalf("worker %s: unexpected reply %v", s.id, reply["type"])
+	}
+}
+
+// TestAdaptiveSizingShrinksSlowWorkerGrants is the acceptance scenario:
+// a three-worker sweep where one worker is artificially slow. Later
+// grants to the slow worker must shrink (down to the clamp floor) while
+// the fast worker's grow (up to the clamp ceiling), and the merged
+// result must still exactly match a single-machine run.
+func TestAdaptiveSizingShrinksSlowWorkerGrants(t *testing.T) {
+	const (
+		base    = 8
+		minJob  = 1
+		maxJob  = 32
+		slowNS  = int64(10 * time.Second)       // ~0.5 candidates/s
+		fastNS  = int64(time.Millisecond)       // ~5000 candidates/s
+		midNS   = int64(100 * time.Millisecond) // ~50 candidates/s
+		timeout = time.Minute
+	)
+	coord, err := dist.NewCoordinator("127.0.0.1:0", dist.CoordinatorConfig{
+		Spec:          smallSpec,
+		JobSize:       base,
+		TargetJobTime: 100 * time.Millisecond,
+		MinJobSize:    minJob,
+		MaxJobSize:    maxJob,
+		LeaseTimeout:  time.Minute,
+		Logf:          t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+
+	workers := []*scripted{
+		{t: t, c: dialRaw(t, coord.Addr()), id: "tortoise", elapsedNS: slowNS},
+		{t: t, c: dialRaw(t, coord.Addr()), id: "hare", elapsedNS: fastNS},
+		{t: t, c: dialRaw(t, coord.Addr()), id: "steady", elapsedNS: midNS},
+	}
+	deadline := time.Now().Add(timeout)
+	for {
+		all := true
+		for _, w := range workers {
+			if !w.finished {
+				w.step(smallSpec)
+				all = false
+			}
+		}
+		if all {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("sweep did not complete in time")
+		}
+	}
+
+	slow, fast := workers[0], workers[1]
+	if len(slow.sizes) < 2 || len(fast.sizes) < 2 {
+		t.Fatalf("expected multiple grants per worker, got slow=%v fast=%v", slow.sizes, fast.sizes)
+	}
+	if slow.sizes[0] != base {
+		t.Errorf("slow worker's first grant = %d, want the base size %d (no data yet)", slow.sizes[0], base)
+	}
+	for i, sz := range slow.sizes[1:] {
+		if sz >= base {
+			t.Errorf("slow worker grant %d = %d indices, want < base %d once its rate is known", i+1, sz, base)
+		}
+	}
+	if last := slow.sizes[len(slow.sizes)-1]; last != minJob {
+		t.Errorf("slow worker's final grant = %d, want the clamp floor %d", last, minJob)
+	}
+	sawCeiling := false
+	for _, sz := range fast.sizes[1:] {
+		if sz == maxJob {
+			sawCeiling = true
+		}
+		if sz < base {
+			t.Errorf("fast worker got a grant of %d indices, should never shrink below base %d", sz, base)
+		}
+	}
+	if !sawCeiling {
+		t.Errorf("fast worker's grants %v never reached the clamp ceiling %d", fast.sizes, maxJob)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	sum, err := coord.Wait(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkMatchesSingleMachine(t, smallSpec, sum)
+}
+
+// TestAdaptiveClampFloorOnAbsurdThroughput is the regression test for
+// sizing pathologies: a worker whose reported throughput is zero (no
+// candidates), absurd (zero elapsed, an infinite-rate sample) or
+// vanishingly small must keep receiving jobs of at least one index —
+// never an empty grant — and the sweep must still terminate.
+func TestAdaptiveClampFloorOnAbsurdThroughput(t *testing.T) {
+	coord, err := dist.NewCoordinator("127.0.0.1:0", dist.CoordinatorConfig{
+		Spec:          smallSpec,
+		JobSize:       16,
+		TargetJobTime: time.Millisecond, // tiny target: ideal sizes round toward zero
+		MinJobSize:    0,                // explicit zero must still floor at one index
+		MaxJobSize:    64,
+		LeaseTimeout:  time.Minute,
+		Logf:          t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+
+	// Interleave two pathologies: a glacial worker (hours per job,
+	// vanishing rate) and a worker reporting zero elapsed (an
+	// infinite-rate sample that must be discarded, not turned into a
+	// huge or empty grant).
+	workers := []*scripted{
+		{t: t, c: dialRaw(t, coord.Addr()), id: "glacial", elapsedNS: int64(10 * time.Hour)},
+		{t: t, c: dialRaw(t, coord.Addr()), id: "instant", elapsedNS: 0},
+	}
+	deadline := time.Now().Add(time.Minute)
+	for {
+		all := true
+		for _, w := range workers {
+			if !w.finished {
+				w.step(smallSpec)
+				all = false
+			}
+		}
+		if all {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("sweep starved: did not complete with pathological throughput reports")
+		}
+	}
+	for _, w := range workers {
+		for i, sz := range w.sizes {
+			if sz == 0 {
+				t.Errorf("worker %s grant %d is empty; adaptive sizing must floor at one index", w.id, i)
+			}
+		}
+	}
+	// The glacial worker's rate is finite but microscopic: its grants
+	// must sit exactly on the one-index floor once observed.
+	glacial := workers[0]
+	if len(glacial.sizes) > 1 {
+		if last := glacial.sizes[len(glacial.sizes)-1]; last != 1 {
+			t.Errorf("glacial worker's final grant = %d, want the implicit floor 1", last)
+		}
+	}
+	// The zero-elapsed samples carry no signal, so the instant worker
+	// keeps receiving base-size grants — except possibly a final slice
+	// clipped by the end of the space.
+	instant := workers[1]
+	for i, sz := range instant.sizes {
+		if i < len(instant.sizes)-1 && sz != 16 {
+			t.Errorf("instant worker grant %d = %d, want base 16 (infinite-rate samples must be ignored)", i, sz)
+		}
+		if i == len(instant.sizes)-1 && sz > 16 {
+			t.Errorf("instant worker's final grant = %d, want <= base 16", sz)
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	sum, err := coord.Wait(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkMatchesSingleMachine(t, smallSpec, sum)
+}
+
+// TestHeartbeatProgressDrivesSizing: a worker that has never completed
+// a job still gets adaptively sized grants, because heartbeat progress
+// deltas feed the throughput estimate mid-job.
+func TestHeartbeatProgressDrivesSizing(t *testing.T) {
+	const maxJob = 64
+	coord, err := dist.NewCoordinator("127.0.0.1:0", dist.CoordinatorConfig{
+		Spec:          smallSpec,
+		JobSize:       4,
+		TargetJobTime: time.Second,
+		MaxJobSize:    maxJob,
+		LeaseTimeout:  time.Minute,
+		Logf:          t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+
+	w := dialRaw(t, coord.Addr())
+	jobMsg, ok := w.takeJob("pulse")
+	if !ok {
+		t.Fatalf("got %v, want a job", jobMsg["type"])
+	}
+	// Report enormous progress over a few milliseconds: a very fast
+	// worker, observed purely through heartbeats.
+	time.Sleep(20 * time.Millisecond)
+	w.send(map[string]any{"type": "heartbeat", "worker": "pulse", "job_id": jobMsg["job_id"], "progress": 100000})
+	time.Sleep(20 * time.Millisecond) // let the coordinator process the heartbeat
+
+	// Complete the job with a zero elapsed time, which the estimator
+	// discards — so the next grant's size is driven by the heartbeat
+	// alone.
+	w.finishJob(smallSpec, "pulse", jobMsg)
+	reply := w.recv()
+	if reply["type"] != "job" {
+		t.Fatalf("after result: got %v, want the next job", reply["type"])
+	}
+	size := uint64(reply["end"].(float64)) - uint64(reply["start"].(float64))
+	if size != maxJob {
+		t.Errorf("grant after fast heartbeats = %d indices, want the ceiling %d", size, maxJob)
+	}
+}

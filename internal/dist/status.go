@@ -1,0 +1,150 @@
+package dist
+
+import (
+	"sort"
+	"time"
+
+	"koopmancrc/internal/journal"
+)
+
+// WorkerStatus is one worker's journal-reconstructed throughput ledger.
+type WorkerStatus struct {
+	// ID is the worker's self-reported id.
+	ID string
+	// JobsDone is how many jobs this worker completed.
+	JobsDone int
+	// Canonical is the candidate count across those jobs.
+	Canonical uint64
+	// Compute is the summed per-job compute time the worker reported.
+	Compute time.Duration
+	// Rate is the coordinator's EWMA throughput estimate in canonical
+	// candidates per second, as of the newest journal record.
+	Rate float64
+	// LastGrantSize is the worker's last journaled sizing decision in
+	// raw indices; fresh grants track it within a small drift threshold
+	// (see materialResize).
+	LastGrantSize uint64
+}
+
+// RequeueEvent is one journaled lease expiry.
+type RequeueEvent struct {
+	// JobID is the job that went back to the queue.
+	JobID uint64
+	// Worker held the expired lease.
+	Worker string
+	// Time is when the coordinator requeued the job.
+	Time time.Time
+}
+
+// Status is the read-only view of a checkpointed sweep, reconstructed
+// purely from the journal: ReadStatus never contacts (or interferes
+// with) a running coordinator, and because it replays the same ledger
+// the resume path does, its counts always match what a resumed
+// coordinator would start from.
+type Status struct {
+	// Spec identifies the sweep.
+	Spec SearchSpec
+	// JobSize is the journaled base grant size in raw indices.
+	JobSize uint64
+	// TotalIndices is the raw size of the search space.
+	TotalIndices uint64
+	// CarvedJobs / DoneJobs / PendingJobs count jobs the coordinator
+	// has carved, completed and still owes (carved but not done).
+	CarvedJobs  int
+	DoneJobs    int
+	PendingJobs int
+	// DoneIndices / PendingIndices / UncarvedIndices partition the
+	// space: covered by done jobs, covered by carved-but-unfinished
+	// jobs, and not yet carved at all.
+	DoneIndices     uint64
+	PendingIndices  uint64
+	UncarvedIndices uint64
+	// Canonical counts candidates evaluated; Survivors counts
+	// polynomials that passed every filter so far.
+	Canonical uint64
+	Survivors int
+	// Requeues is the exact lease-expiry total; RequeueLog holds the
+	// most recent requeueLogCap events with holders and times.
+	Requeues   int
+	RequeueLog []RequeueEvent
+	// Workers lists per-worker throughput ledgers, sorted by id.
+	Workers []WorkerStatus
+	// Started is when the sweep first began (preserved across
+	// resumes); LastActivity is the newest journal record. Active is
+	// the span between them — journal-observed sweep time, which for a
+	// suspended sweep excludes nothing but is the best ETA base the
+	// journal alone can offer.
+	Started      time.Time
+	LastActivity time.Time
+	Active       time.Duration
+	// IndexRate is the sweep-wide throughput in raw indices per second
+	// over Active; ETA extrapolates it over the uncovered remainder.
+	// Both are zero when the journal holds too little to estimate.
+	IndexRate float64
+	ETA       time.Duration
+	// Complete reports whether the space is fully covered.
+	Complete bool
+}
+
+// ReadStatus replays a checkpoint directory without opening it for
+// writing and reports sweep progress, per-worker throughput, requeue
+// history and an ETA. Safe to run against the checkpoint of a live
+// coordinator: it reads whatever is durable on disk and mutates
+// nothing.
+func ReadStatus(dir string) (*Status, error) {
+	rec, err := journal.Read(dir)
+	if err != nil {
+		return nil, err
+	}
+	ls, err := replayLedger(rec)
+	if err != nil {
+		return nil, err
+	}
+	st := &Status{
+		Spec:         ls.begin.Spec,
+		JobSize:      ls.begin.JobSize,
+		TotalIndices: ls.begin.Total,
+		CarvedJobs:   len(ls.jobs),
+		DoneJobs:     ls.doneJobs,
+		PendingJobs:  len(ls.jobs) - ls.doneJobs,
+		DoneIndices:  ls.doneIdx,
+		Canonical:    ls.canonical,
+		Survivors:    len(ls.survivors),
+		Requeues:     ls.requeues,
+		Started:      time.Unix(0, ls.begin.TS),
+		LastActivity: time.Unix(0, ls.lastTS),
+	}
+	for _, j := range ls.jobs {
+		if !j.done {
+			st.PendingIndices += j.end - j.start
+		}
+	}
+	st.UncarvedIndices = st.TotalIndices - ls.nextStart
+	st.Complete = ls.nextStart >= st.TotalIndices && st.DoneJobs == st.CarvedJobs
+	for _, r := range ls.requeueLog {
+		st.RequeueLog = append(st.RequeueLog, RequeueEvent{JobID: r.JobID, Worker: r.Worker, Time: time.Unix(0, r.TS)})
+	}
+	ids := make([]string, 0, len(ls.workers))
+	for id := range ls.workers {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		ws := ls.workers[id]
+		st.Workers = append(st.Workers, WorkerStatus{
+			ID: id, JobsDone: ws.jobsDone, Canonical: ws.canonical,
+			Compute: ws.elapsed, Rate: ws.rate, LastGrantSize: ws.lastSize,
+		})
+	}
+	if ls.lastTS > ls.begin.TS {
+		st.Active = time.Duration(ls.lastTS - ls.begin.TS)
+	}
+	if st.Active > 0 && st.DoneIndices > 0 {
+		st.IndexRate = float64(st.DoneIndices) / st.Active.Seconds()
+		remaining := st.TotalIndices - st.DoneIndices
+		if st.IndexRate > 0 && remaining > 0 {
+			st.ETA = time.Duration(float64(remaining) / st.IndexRate * float64(time.Second))
+		}
+	}
+	return st, nil
+}

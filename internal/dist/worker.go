@@ -4,6 +4,8 @@ import (
 	"context"
 	"fmt"
 	"net"
+	"os"
+	"sync/atomic"
 	"time"
 
 	"koopmancrc/internal/core"
@@ -11,7 +13,11 @@ import (
 
 // WorkerConfig tunes a Worker.
 type WorkerConfig struct {
-	// ID names the worker in coordinator logs and lease bookkeeping.
+	// ID names the worker in coordinator logs, lease bookkeeping and
+	// per-worker throughput estimation. IDs must be unique across the
+	// fleet — two workers sharing an id blend into one throughput
+	// estimate and can renew each other's leases — so the default is
+	// derived from hostname and pid rather than a fixed string.
 	ID string
 	// Parallelism is the intra-machine fan-out applied to each job
 	// (core.Pipeline.Workers); zero means GOMAXPROCS, so one dist
@@ -30,10 +36,14 @@ type Worker struct {
 	cfg  WorkerConfig
 }
 
+// ID returns the worker's resolved id (the configured one, or the
+// hostname-pid default).
+func (w *Worker) ID() string { return w.cfg.ID }
+
 // NewWorker returns a worker that will dial the coordinator at addr.
 func NewWorker(addr string, cfg WorkerConfig) *Worker {
 	if cfg.ID == "" {
-		cfg.ID = "worker"
+		cfg.ID = defaultWorkerID()
 	}
 	if cfg.PollInterval <= 0 {
 		cfg.PollInterval = 200 * time.Millisecond
@@ -100,7 +110,9 @@ func (w *Worker) Run(ctx context.Context) (int, error) {
 // runJob filters one [start, end) slice of the space and packages the
 // shard result as the wire reply. While the computation runs, a side
 // goroutine heartbeats over the same connection at a third of the job's
-// lease so a slow-but-healthy worker keeps its lease on long jobs.
+// lease — carrying the live candidate count — so a slow-but-healthy
+// worker keeps its lease on long jobs and the coordinator can estimate
+// this worker's throughput before the job completes.
 func (w *Worker) runJob(ctx context.Context, wr *wire, m *message) (*message, error) {
 	if m.Spec == nil {
 		return nil, fmt.Errorf("dist: worker %s: job %d has no spec", w.cfg.ID, m.JobID)
@@ -109,15 +121,17 @@ func (w *Worker) runJob(ctx context.Context, wr *wire, m *message) (*message, er
 	if err != nil {
 		return nil, fmt.Errorf("dist: worker %s: %w", w.cfg.ID, err)
 	}
+	var progress atomic.Uint64
 	pl := &core.Pipeline{
-		Space:   space,
-		Filters: []core.Filter{core.HDFilter{Lengths: m.Spec.Lengths, MinHD: m.Spec.MinHD, Engine: core.EngineFast}},
-		Workers: w.cfg.Parallelism,
+		Space:    space,
+		Filters:  []core.Filter{core.HDFilter{Lengths: m.Spec.Lengths, MinHD: m.Spec.MinHD, Engine: core.EngineFast}},
+		Workers:  w.cfg.Parallelism,
+		Progress: &progress,
 	}
 	if m.LeaseNS > 0 {
 		stopHB := make(chan struct{})
 		defer close(stopHB)
-		go w.heartbeat(wr, m.JobID, time.Duration(m.LeaseNS), stopHB)
+		go w.heartbeat(wr, m.JobID, time.Duration(m.LeaseNS), &progress, stopHB)
 	}
 	res, err := pl.Run(ctx, m.Start, m.End)
 	if err != nil {
@@ -140,10 +154,11 @@ func (w *Worker) runJob(ctx context.Context, wr *wire, m *message) (*message, er
 	}, nil
 }
 
-// heartbeat renews the lease on jobID every lease/3 until stop closes.
+// heartbeat renews the lease on jobID every lease/3 until stop closes,
+// reporting the job's live canonical-candidate count with each renewal.
 // Send failures are ignored: the main loop owns the connection and will
 // surface the error when it next touches the wire.
-func (w *Worker) heartbeat(wr *wire, jobID uint64, lease time.Duration, stop <-chan struct{}) {
+func (w *Worker) heartbeat(wr *wire, jobID uint64, lease time.Duration, progress *atomic.Uint64, stop <-chan struct{}) {
 	interval := lease / 3
 	if interval < time.Millisecond {
 		interval = time.Millisecond
@@ -155,9 +170,20 @@ func (w *Worker) heartbeat(wr *wire, jobID uint64, lease time.Duration, stop <-c
 		case <-stop:
 			return
 		case <-t.C:
-			_ = wr.send(&message{Type: msgHeartbeat, Worker: w.cfg.ID, JobID: jobID})
+			_ = wr.send(&message{Type: msgHeartbeat, Worker: w.cfg.ID, JobID: jobID, Progress: progress.Load()})
 		}
 	}
+}
+
+// defaultWorkerID is unique per process, so a fleet launched without
+// explicit ids still gets per-machine throughput estimates instead of
+// every worker blending into one shared "worker" entry.
+func defaultWorkerID() string {
+	host, err := os.Hostname()
+	if err != nil || host == "" {
+		host = "worker"
+	}
+	return fmt.Sprintf("%s-%d", host, os.Getpid())
 }
 
 // ctxErr prefers the context's error over a connection error it caused.

@@ -121,6 +121,14 @@ func scanWAL(data []byte, after uint64) (entries []Record, validLen int64) {
 	return entries, validLen
 }
 
+// errTornRead marks a snapshot/WAL pair that cannot belong to one
+// moment in time: the first surviving WAL record does not continue the
+// snapshot's watermark, so records in between are missing. Appends and
+// crash recovery never produce this state — only reading the two files
+// while a writer compacts between the reads (stale snapshot, already-
+// truncated WAL) does, which a reader fixes by re-reading.
+var errTornRead = fmt.Errorf("journal: snapshot and wal read from different compaction epochs")
+
 // readState loads the snapshot and scans the WAL without mutating disk.
 func readState(dir string) (*Recovery, int64, error) {
 	rec := &Recovery{}
@@ -141,20 +149,36 @@ func readState(dir string) (*Recovery, int64, error) {
 		return nil, 0, err
 	}
 	entries, validLen := scanWAL(data, rec.SnapshotSeq)
+	if len(entries) > 0 && entries[0].Seq != rec.SnapshotSeq+1 {
+		// Sequence numbers are dense, so the records in
+		// (SnapshotSeq, entries[0].Seq) exist but are in neither file
+		// we read: a torn read across a concurrent compaction.
+		return nil, 0, errTornRead
+	}
 	rec.Entries = entries
 	rec.Truncated = int64(len(data)) - validLen
 	return rec, validLen, nil
 }
 
-// Read replays a journal directory without opening it for writing — safe
-// for inspection while no writer is active. A torn or corrupt WAL tail
-// is ignored (reported in Truncated) but not truncated on disk.
+// Read replays a journal directory without opening it for writing. Safe
+// to run against a live writer: a compaction landing between the
+// snapshot and WAL reads is detected (the record sequence is dense, so
+// a gap betrays the torn read) and retried against the fresh files. A
+// torn or corrupt WAL tail is ignored (reported in Truncated) but not
+// truncated on disk.
 func Read(dir string) (*Recovery, error) {
 	if _, err := os.Stat(dir); err != nil {
 		return nil, fmt.Errorf("journal: %w", err)
 	}
-	rec, _, err := readState(dir)
-	return rec, err
+	var err error
+	for attempt := 0; attempt < 5; attempt++ {
+		var rec *Recovery
+		rec, _, err = readState(dir)
+		if err != errTornRead {
+			return rec, err
+		}
+	}
+	return nil, err
 }
 
 // Open creates the directory if needed, replays the journal (truncating
@@ -166,6 +190,11 @@ func Open(dir string) (*Journal, *Recovery, error) {
 		return nil, nil, fmt.Errorf("journal: %w", err)
 	}
 	rec, validLen, err := readState(dir)
+	if err == errTornRead {
+		// Open has the directory to itself; a gap here is not a racing
+		// compaction but real damage (records removed mid-log).
+		return nil, nil, fmt.Errorf("journal: %s is missing records between the snapshot and the wal", dir)
+	}
 	if err != nil {
 		return nil, nil, err
 	}

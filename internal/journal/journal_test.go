@@ -331,3 +331,39 @@ func TestAppendAfterCloseFails(t *testing.T) {
 		t.Error("snapshot after Close should error")
 	}
 }
+
+// TestTornSnapshotWALPairDetected: a snapshot and WAL that belong to
+// different compaction epochs (stale snapshot, post-compaction WAL —
+// what a reader racing a live writer's Snapshot can observe) leave a
+// sequence gap, which both Read and Open must refuse to replay as if
+// nothing were missing.
+func TestTornSnapshotWALPairDetected(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := mustOpen(t, dir)
+	appendN(t, j, "ev", 0, 3) // seq 1..3
+	if err := j.Snapshot(payload{N: 99}); err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, j, "ev", 3, 5) // seq 4..5 in the reset WAL
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Roll the snapshot back to an older epoch (watermark 1): the WAL's
+	// first record (seq 4) no longer continues it — records 2..3 are in
+	// neither file.
+	stale, err := encodeLine(Record{Seq: 1, Type: snapType, Data: json.RawMessage(`{"n":0}`)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, snapshotName), stale, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := Read(dir); err == nil {
+		t.Error("Read replayed a torn snapshot/wal pair without error")
+	}
+	if _, _, err := Open(dir); err == nil {
+		t.Error("Open replayed a gapped journal without error")
+	}
+}
