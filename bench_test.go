@@ -352,6 +352,52 @@ func BenchmarkCRCThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkSelectSession is the v1-API acceptance benchmark: ranking the
+// paper's §4.3 contenders at the iSCSI 512-byte storage-block length
+// (4496 data bits) through cached Analyzer sessions versus N independent
+// SelectPolynomial calls. The per-call path re-pays every boundary scan
+// on every invocation; the session path pays once and answers every
+// repeat from the memo — the probes/op metric (work actually done by the
+// Hamming engine) makes the difference visible even at -benchtime=1x.
+func BenchmarkSelectSession(b *testing.B) {
+	candidates := []Polynomial{IEEE8023, CastagnoliISCSI, Koopman32K}
+	const dataLen = 4496 // iSCSI 512-byte block (paper §4.3)
+	const maxHD = 6
+
+	b.Run("independent-calls", func(b *testing.B) {
+		// The pre-v1 workflow: SelectPolynomial builds throwaway state
+		// per call, which is exactly a fresh session per candidate per
+		// call — instrumented here so the discarded work is countable.
+		var probes int64
+		for i := 0; i < b.N; i++ {
+			for _, p := range candidates {
+				a := NewAnalyzer(p, WithMaxHD(maxHD))
+				if _, err := SelectAnalyzers(context.Background(), []*Analyzer{a}, dataLen, WithMaxHD(maxHD)); err != nil {
+					b.Fatal(err)
+				}
+				probes += a.Stats().Probes
+			}
+		}
+		b.ReportMetric(float64(probes)/float64(b.N), "probes/op")
+	})
+	b.Run("cached-sessions", func(b *testing.B) {
+		analyzers := make([]*Analyzer, len(candidates))
+		for i, p := range candidates {
+			analyzers[i] = NewAnalyzer(p, WithMaxHD(maxHD))
+		}
+		for i := 0; i < b.N; i++ {
+			if _, err := SelectAnalyzers(context.Background(), analyzers, dataLen, WithMaxHD(maxHD)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		var probes int64
+		for _, a := range analyzers {
+			probes += a.Stats().Probes
+		}
+		b.ReportMetric(float64(probes)/float64(b.N), "probes/op")
+	})
+}
+
 // BenchmarkPeriodComputation times the algebraic period machinery
 // (factorization + order), which backs every weight-2 boundary.
 func BenchmarkPeriodComputation(b *testing.B) {

@@ -5,13 +5,19 @@
 //
 // Usage:
 //
-//	crceval -poly 0xBA0DC66B [-width 32] [-notation koopman] [-max 131072] [-maxhd 13] [-weights 400,12112]
+//	crceval -poly 0xBA0DC66B [-width 32] [-notation koopman] [-max 131072] [-maxhd 13] [-weights 400,12112] [-progress]
+//
+// Long evaluations honour SIGINT: the boundary scans are cancelled
+// mid-search and the command exits cleanly. -progress streams the live
+// search state (weight, length, probe count) to stderr.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 
@@ -33,6 +39,7 @@ func run(args []string) error {
 	maxLen := fs.Int("max", 131072, "maximum data-word length in bits")
 	maxHD := fs.Int("maxhd", 13, "largest Hamming distance to classify")
 	weights := fs.String("weights", "", "comma-separated lengths for exact W2..W4 computation")
+	progress := fs.Bool("progress", false, "stream live search progress to stderr")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -49,7 +56,19 @@ func run(args []string) error {
 		return err
 	}
 
-	rep, err := koopmancrc.Evaluate(p, *maxLen, &koopmancrc.EvaluateOptions{MaxHD: *maxHD})
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	opts := []koopmancrc.Option{koopmancrc.WithMaxHD(*maxHD)}
+	if *progress {
+		opts = append(opts, koopmancrc.WithProgress(func(pr koopmancrc.Progress) {
+			fmt.Fprintf(os.Stderr, "# searching w=%d at %d bits (%d probes)\n",
+				pr.Weight, pr.DataLen, pr.Probes)
+		}))
+	}
+	// One Analyzer session serves the whole invocation: the profile's
+	// boundary scans are reused by the exact-weight queries below.
+	an := koopmancrc.NewAnalyzer(p, opts...)
+	rep, err := an.Evaluate(ctx, *maxLen)
 	if err != nil {
 		return err
 	}
@@ -81,7 +100,7 @@ func run(args []string) error {
 			}
 			fmt.Printf("  length %d:", l)
 			for w := 2; w <= 4; w++ {
-				v, err := koopmancrc.UndetectableWeight(p, w, l)
+				v, err := an.Weight(ctx, w, l)
 				if err != nil {
 					return err
 				}

@@ -182,8 +182,17 @@ func figure1(maxLen int) error {
 
 func weights() error {
 	fmt.Println("## Exact weight anchors (§3, §4.1)")
+	ctx := context.Background()
+	// One cached session per distinct polynomial: anchors at several
+	// lengths of the same generator share its syndrome tables.
+	sessions := map[koopmancrc.Polynomial]*koopmancrc.Analyzer{}
 	for _, a := range paperdata.WeightAnchors() {
-		got, err := koopmancrc.UndetectableWeight(a.P, a.W, a.DataLen)
+		an := sessions[a.P]
+		if an == nil {
+			an = koopmancrc.NewAnalyzer(a.P)
+			sessions[a.P] = an
+		}
+		got, err := an.Weight(ctx, a.W, a.DataLen)
 		if err != nil {
 			return err
 		}
@@ -248,8 +257,10 @@ func table2spot(samples int) error {
 		{poly.Koopman1130, "{1,1,30}"},
 		{poly.KoopmanSparse6, "{1,1,30}"},
 	}
+	ctx := context.Background()
 	for _, r := range reps {
-		hd, exact, err := koopmancrc.HammingDistanceAt(r.p, paperdata.MTUDataBits, 7)
+		an := koopmancrc.NewAnalyzer(r.p, koopmancrc.WithMaxHD(7))
+		hd, exact, err := an.HDAt(ctx, paperdata.MTUDataBits)
 		if err != nil {
 			return err
 		}
@@ -302,7 +313,7 @@ func table2spot(samples int) error {
 	// HD <= 5 at MTU, consistent with "none has HD>4 at 12112 bits" among
 	// primitive polynomials and the found irreducible ones capping at HD=5.
 	for _, p := range []koopmancrc.Polynomial{poly.IEEE8023, poly.CastagnoliHD5, poly.KoopmanSparse5} {
-		hd, _, err := koopmancrc.HammingDistanceAt(p, paperdata.MTUDataBits, 7)
+		hd, _, err := koopmancrc.NewAnalyzer(p, koopmancrc.WithMaxHD(7)).HDAt(ctx, paperdata.MTUDataBits)
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,175 @@
+// Package crchash computes CRC checksums for widths up to 32 bits: a
+// catalogue of standard algorithms in the Rocksoft parameter model, user
+// registration of custom algorithms, three engines (bit-at-a-time,
+// byte-table, slicing-by-8) cross-validated against hash/crc32, and
+// hash.Hash32-compatible digests.
+//
+// This is the checksum half of the koopmancrc module, split out so that
+// serving paths that only compute CRCs need none of the evaluation
+// machinery. Engines for catalogued algorithms are built once and cached
+// process-wide — repeated Checksum calls never redo the catalogue lookup
+// or table construction — and every engine is safe for concurrent use
+// once built.
+package crchash
+
+import (
+	"fmt"
+	"hash"
+	"sync"
+
+	"koopmancrc/internal/crc"
+	"koopmancrc/internal/poly"
+)
+
+// Params describes a CRC algorithm in the Rocksoft parameter model
+// (generator polynomial, init, input/output reflection, final XOR, and
+// an optional catalogue check value over the ASCII bytes "123456789").
+type Params = crc.Params
+
+// Engine computes CRCs for one parameter set: one-shot Checksum plus the
+// Init/Update/Finalize streaming triple. Engines are stateless after
+// construction and safe for concurrent use.
+type Engine = crc.Engine
+
+// Digest adapts an Engine to hash.Hash32 so any catalogued algorithm can
+// drop into code written against hash/crc32.
+type Digest = crc.Digest
+
+// Catalogued standard parameter sets (see Algorithms for the full list
+// by name).
+var (
+	// CRC32IEEE is the IEEE 802.3 / ISO-HDLC CRC-32 used by Ethernet,
+	// gzip and zip.
+	CRC32IEEE = crc.CRC32IEEE
+	// CRC32C is the Castagnoli CRC-32C adopted by iSCSI (RFC 3720), SCTP
+	// and ext4.
+	CRC32C = crc.CRC32C
+	// CRC32K wraps the paper's 0xBA0DC66B in the same framing
+	// conventions as CRC-32/CRC-32C.
+	CRC32K = crc.CRC32K
+)
+
+// Kind selects a checksum engine implementation.
+type Kind int
+
+// Available engine kinds.
+const (
+	// Auto picks the fastest engine the parameters admit: slicing-by-8,
+	// then byte-table, then bitwise.
+	Auto Kind = iota
+	// Bitwise is the bit-at-a-time reference engine, valid for every
+	// width and reflection combination.
+	Bitwise
+	// Table is the 256-entry byte-table engine (width divisible by 8,
+	// RefIn == RefOut).
+	Table
+	// Slicing8 processes eight bytes per step (reflected 32-bit
+	// algorithms only) — the kind of software implementation the iSCSI
+	// effort contemplated for CRC-32C.
+	Slicing8
+)
+
+// String returns the kind name.
+func (k Kind) String() string {
+	switch k {
+	case Auto:
+		return "auto"
+	case Bitwise:
+		return "bitwise"
+	case Table:
+		return "table"
+	case Slicing8:
+		return "slicing8"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// New returns the fastest engine the parameter set admits (Kind Auto).
+func New(p Params) Engine { return crc.New(p) }
+
+// NewEngine builds an engine of an explicit kind, erroring when the
+// parameters do not admit it (e.g. Table for a width not divisible by 8).
+func NewEngine(p Params, k Kind) (Engine, error) {
+	switch k {
+	case Auto:
+		return crc.New(p), nil
+	case Bitwise:
+		return crc.NewBitwise(p), nil
+	case Table:
+		return crc.NewTable(p)
+	case Slicing8:
+		return crc.NewSlicing8(p)
+	default:
+		return nil, fmt.Errorf("crchash: unknown engine kind %v", k)
+	}
+}
+
+// NewDigest returns a hash.Hash32 over the engine's algorithm.
+func NewDigest(e Engine) *Digest { return crc.NewDigest(e) }
+
+// Pure returns the parameter set that makes the CRC a plain polynomial
+// remainder: crc(data) = data(x) * x^width mod G(x) — the convention
+// under which Hamming-distance analysis holds bit-for-bit.
+func Pure(p poly.P) Params { return crc.Pure(p) }
+
+// Lookup finds a catalogued algorithm by name, e.g. "CRC-32C/iSCSI".
+func Lookup(name string) (Params, error) { return crc.Lookup(name) }
+
+// Algorithms lists the catalogued algorithm names — built-in standards
+// plus user registrations — sorted.
+func Algorithms() []string {
+	cat := crc.Catalogue()
+	out := make([]string, len(cat))
+	for i, p := range cat {
+		out[i] = p.Name
+	}
+	return out
+}
+
+// Register adds a user-defined algorithm to the catalogue under its
+// Name, after which Checksum, ForAlgorithm and NewHash resolve it like
+// any standard. Names must be unique; a non-zero Check value is verified
+// against the reference engine before the algorithm is accepted.
+func Register(p Params) error { return crc.Register(p) }
+
+// engines caches one built engine per catalogued algorithm name.
+// Registration is append-only and names are unique, so a cached engine
+// can never go stale.
+var engines sync.Map // string -> Engine
+
+// ForAlgorithm returns the process-wide cached engine for a catalogued
+// algorithm: the catalogue lookup and table construction happen once per
+// name, not once per call. The engine is safe for concurrent use.
+func ForAlgorithm(name string) (Engine, error) {
+	if e, ok := engines.Load(name); ok {
+		return e.(Engine), nil
+	}
+	params, err := crc.Lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	e, _ := engines.LoadOrStore(name, crc.New(params))
+	return e.(Engine), nil
+}
+
+// Checksum computes the CRC of data under a catalogued algorithm name
+// (e.g. "CRC-32/IEEE-802.3", "CRC-32C/iSCSI", "CRC-32K/Koopman"), using
+// the cached engine.
+func Checksum(algorithm string, data []byte) (uint32, error) {
+	e, err := ForAlgorithm(algorithm)
+	if err != nil {
+		return 0, err
+	}
+	return e.Checksum(data), nil
+}
+
+// NewHash returns a fresh hash.Hash32 over a catalogued algorithm,
+// backed by the cached engine.
+func NewHash(algorithm string) (hash.Hash32, error) {
+	e, err := ForAlgorithm(algorithm)
+	if err != nil {
+		return nil, err
+	}
+	return crc.NewDigest(e), nil
+}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand/v2"
@@ -16,17 +17,24 @@ import (
 const mtuDataBits = 12112 // Ethernet MTU data word, the paper's yardstick
 
 func main() {
+	ctx := context.Background()
 	iscsi := koopmancrc.CastagnoliISCSI
 	proposed := koopmancrc.Koopman32K
+
+	// One analysis session per polynomial for the whole comparison: the
+	// HD table, the witness hunt and the coverage summary below all
+	// share the same cached boundary knowledge.
+	anISCSI := koopmancrc.NewAnalyzer(iscsi, koopmancrc.WithMaxHD(7))
+	anProposed := koopmancrc.NewAnalyzer(proposed, koopmancrc.WithMaxHD(7))
 
 	fmt.Println("Hamming distance at iSCSI-relevant lengths:")
 	fmt.Printf("%-12s %14s %14s\n", "data bits", iscsi.String(), proposed.String())
 	for _, l := range []int{400, 4496, mtuDataBits} {
-		hd1, _, err := koopmancrc.HammingDistanceAt(iscsi, l, 7)
+		hd1, _, err := anISCSI.HDAt(ctx, l)
 		if err != nil {
 			log.Fatal(err)
 		}
-		hd2, _, err := koopmancrc.HammingDistanceAt(proposed, l, 7)
+		hd2, _, err := anProposed.HDAt(ctx, l)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -34,8 +42,10 @@ func main() {
 	}
 
 	// Find a 4-bit error pattern the draft polynomial cannot see at MTU
-	// length (it has HD=4 there, so such patterns exist).
-	wit, found, err := koopmancrc.UndetectableWitness(iscsi, 4, mtuDataBits)
+	// length (it has HD=4 there, so such patterns exist). The session
+	// already met weight-4 patterns while answering HDAt, so this is a
+	// cache hit, not a new search.
+	wit, found, err := anISCSI.Witness(ctx, 4, mtuDataBits)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -70,17 +80,15 @@ func main() {
 	fmt.Printf("0xBA0DC66B rejects the same corruption:           %v\n",
 		!koopmancrc.VerifyFCS(proposed, frameProposed))
 
-	// The paper's bottom line.
-	repI, err := koopmancrc.Evaluate(iscsi, 16384, &koopmancrc.EvaluateOptions{MaxHD: 7})
+	// The paper's bottom line, straight from the cached sessions.
+	lI, _, err := anISCSI.MaxLenAtHD(ctx, 6, 16384)
 	if err != nil {
 		log.Fatal(err)
 	}
-	repP, err := koopmancrc.Evaluate(proposed, 16384, &koopmancrc.EvaluateOptions{MaxHD: 7})
+	lP, _, err := anProposed.MaxLenAtHD(ctx, 6, 16384)
 	if err != nil {
 		log.Fatal(err)
 	}
-	lI, _ := repI.MaxLenAtHD(6)
-	lP, _ := repP.MaxLenAtHD(6)
 	fmt.Printf("\nHD=6 coverage: %v to %d bits vs %v to %d bits (paper: 5243 vs 16360)\n",
 		iscsi, lI, proposed, lP)
 }

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -14,6 +15,7 @@ import (
 const jumboDataBits = 72112 // 9000-byte jumbo payload + headers
 
 func main() {
+	ctx := context.Background()
 	polys := []koopmancrc.Polynomial{
 		koopmancrc.IEEE8023,        // legacy Ethernet CRC
 		koopmancrc.CastagnoliISCSI, // CRC-32C
@@ -22,9 +24,10 @@ func main() {
 	}
 	fmt.Printf("error detection at jumbo length (%d data bits):\n", jumboDataBits)
 	for _, p := range polys {
-		// MaxHD 4 keeps the profile cheap: the jumbo question is only whether
-		// HD=4 still holds at 72,112 bits.
-		rep, err := koopmancrc.Evaluate(p, jumboDataBits, &koopmancrc.EvaluateOptions{MaxHD: 4})
+		// MaxHD 4 keeps the session cheap: the jumbo question is only
+		// whether HD=4 still holds at 72,112 bits.
+		an := koopmancrc.NewAnalyzer(p, koopmancrc.WithMaxHD(4))
+		rep, err := an.Evaluate(ctx, jumboDataBits)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -37,7 +40,10 @@ func main() {
 			ge = ">="
 		}
 		fmt.Printf("  %v: HD%s%d at jumbo length", p, ge, hd)
-		if l, ok := rep.MaxLenAtHD(4); ok {
+		// The coverage question hits the boundaries Evaluate just cached.
+		if l, ok, err := an.MaxLenAtHD(ctx, 4, jumboDataBits); err != nil {
+			log.Fatal(err)
+		} else if ok {
 			fmt.Printf(" (HD>=4 through %d bits)", l)
 		} else {
 			fmt.Printf(" (HD>=4 lost before jumbo length)")

@@ -31,8 +31,9 @@ func main() {
 			koopmancrc.IEEE8023, koopmancrc.CastagnoliISCSI, koopmancrc.Koopman32K,
 		}},
 	}
+	ctx := context.Background()
 	for _, app := range apps {
-		ranked, err := koopmancrc.SelectPolynomial(app.candidates, app.bits, 8)
+		ranked, err := koopmancrc.Select(ctx, app.candidates, app.bits, koopmancrc.WithMaxHD(8))
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -47,7 +48,7 @@ func main() {
 	// highest HD at 48 bits.
 	fmt.Println("\nexhaustive width-12 search for 48-bit frames:")
 	for hd := 6; hd >= 4; hd-- {
-		res, err := koopmancrc.Search(context.Background(), koopmancrc.SearchConfig{
+		res, err := koopmancrc.Search(ctx, koopmancrc.SearchConfig{
 			Width: 12, MinHD: hd, Lengths: []int{16, 48},
 		})
 		if err != nil {

@@ -1,42 +1,51 @@
-// Quickstart: compute checksums, inspect a polynomial, and read its
-// error-detection profile.
+// Quickstart: compute checksums with the crchash subpackage, inspect a
+// polynomial, and read its error-detection profile through an Analyzer
+// session.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	"koopmancrc"
+	"koopmancrc/crchash"
 )
 
 func main() {
 	// 1. Checksums under catalogued algorithms (validated against
-	//    hash/crc32 in the test suite).
+	//    hash/crc32 in the test suite). Engines are cached per
+	//    algorithm, so calling this in a loop never rebuilds tables.
 	data := []byte("hello, dependable networks")
 	for _, alg := range []string{"CRC-32/IEEE-802.3", "CRC-32C/iSCSI", "CRC-32K/Koopman"} {
-		sum, err := koopmancrc.Checksum(alg, data)
+		sum, err := crchash.Checksum(alg, data)
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("%-20s %08X\n", alg, sum)
 	}
 
-	// 2. Inspect the paper's headline polynomial 0xBA0DC66B.
+	// 2. Inspect the paper's headline polynomial 0xBA0DC66B through a
+	//    long-lived analysis session.
 	p := koopmancrc.Koopman32K
+	an := koopmancrc.NewAnalyzer(p)
 	fmt.Printf("\npolynomial %v\n  normal form  %#x\n  algebraic    %s\n",
 		p, p.In(koopmancrc.Normal), p.AlgebraicString())
-	shape, err := p.Shape()
+	shape, err := an.Shape()
 	if err != nil {
 		log.Fatal(err)
 	}
-	period, err := p.Period()
+	period, err := an.Period()
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("  factorization %s, period %d, parity bit %v\n", shape, period, p.DivisibleByXPlus1())
+	fmt.Printf("  factorization %s, period %d, parity bit %v\n", shape, period, an.ParityBit())
 
 	// 3. How many bit errors does it guarantee to catch at each length?
-	rep, err := koopmancrc.Evaluate(p, 4096, nil)
+	//    The session memoizes every boundary this discovers, so follow-up
+	//    queries (HDAt, Witness, Select) are free where they overlap.
+	ctx := context.Background()
+	rep, err := an.Evaluate(ctx, 4096)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,58 @@
+package koopmancrc_test
+
+import (
+	"fmt"
+	"testing"
+
+	"koopmancrc"
+)
+
+// FuzzParsePolynomialRoundTrip feeds arbitrary (width, notation, value)
+// triples through ParsePolynomial and asserts the two invariants that
+// make the four notations interchangeable:
+//
+//  1. a value that parses re-encodes to itself in its own notation
+//     (no silent bit dropping — this caught FromReversed accepting
+//     overflow bits), and
+//  2. re-encoding in every other notation and re-parsing yields the
+//     same polynomial.
+func FuzzParsePolynomialRoundTrip(f *testing.F) {
+	f.Add(32, uint8(0), uint64(0xBA0DC66B)) // the paper's proposal, Koopman form
+	f.Add(32, uint8(1), uint64(0x04C11DB7)) // 802.3, normal form
+	f.Add(32, uint8(2), uint64(0xEDB88320)) // 802.3, reversed form
+	f.Add(32, uint8(3), uint64(0x104C11DB7))
+	f.Add(16, uint8(2), uint64(0x8408)) // CCITT reversed
+	f.Add(16, uint8(2), uint64(0x18408))
+	f.Add(12, uint8(0), uint64(0xC07))
+	f.Add(8, uint8(3), uint64(0x107))
+	f.Add(1, uint8(0), uint64(1))
+	f.Add(33, uint8(0), uint64(1)<<32)
+
+	notations := []koopmancrc.Notation{
+		koopmancrc.Koopman, koopmancrc.Normal, koopmancrc.Reversed, koopmancrc.Full,
+	}
+	f.Fuzz(func(t *testing.T, width int, notationIdx uint8, v uint64) {
+		n := notations[int(notationIdx)%len(notations)]
+		s := fmt.Sprintf("%#x", v)
+		p, err := koopmancrc.ParsePolynomial(width, n, s)
+		if err != nil {
+			return // invalid encodings must error, not panic — which they just did not
+		}
+		if p.Width() != width && n != koopmancrc.Full {
+			t.Fatalf("parsed %q as width %d, asked for %d", s, p.Width(), width)
+		}
+		if got := p.In(n); got != v {
+			t.Fatalf("%v notation %v: parsed %#x but re-encodes to %#x", p, n, v, got)
+		}
+		for _, m := range notations {
+			enc := fmt.Sprintf("%#x", p.In(m))
+			q, err := koopmancrc.ParsePolynomial(p.Width(), m, enc)
+			if err != nil {
+				t.Fatalf("%v does not re-parse from its own %v form %s: %v", p, m, enc, err)
+			}
+			if q != p {
+				t.Fatalf("round trip through %v changed %v into %v", m, p, q)
+			}
+		}
+	})
+}

@@ -3,6 +3,7 @@ package crc
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"koopmancrc/internal/poly"
 )
@@ -65,13 +66,68 @@ var (
 	}
 )
 
-// Catalogue returns all registered standard parameter sets sorted by name.
-func Catalogue() []Params {
-	all := []Params{
+// registered holds user-added algorithms (see Register), guarded for
+// concurrent registration and lookup.
+var (
+	regMu      sync.RWMutex
+	registered []Params
+)
+
+// builtin returns the compiled-in standard parameter sets.
+func builtin() []Params {
+	return []Params{
 		CRC32IEEE, CRC32C, CRC32K,
 		CRC16CCITTFalse, CRC16XModem, CRC16ARC,
 		CRC8SMBus, CRC8DARC,
 	}
+}
+
+// registerCheckInput is the catalogue convention: every Check value is
+// the CRC of these nine ASCII bytes.
+var registerCheckInput = []byte("123456789")
+
+// Register adds a user-defined algorithm to the catalogue under its
+// Name. Names must be non-empty and unique across built-in and
+// previously registered algorithms. A non-zero Check value is verified
+// against the reference bitwise engine before the algorithm is accepted,
+// so a mis-transcribed parameter set fails loudly at registration
+// instead of silently corrupting checksums.
+func Register(p Params) error {
+	if p.Name == "" {
+		return fmt.Errorf("crc: Register needs a non-empty Name")
+	}
+	if p.Poly.IsZero() {
+		return fmt.Errorf("crc: Register %q: no generator polynomial", p.Name)
+	}
+	if p.Check != 0 {
+		if got := NewBitwise(p).Checksum(registerCheckInput); got != p.Check {
+			return fmt.Errorf("crc: Register %q: check value %#08x, but parameters compute %#08x",
+				p.Name, p.Check, got)
+		}
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	for _, q := range builtin() {
+		if q.Name == p.Name {
+			return fmt.Errorf("crc: algorithm %q is already catalogued", p.Name)
+		}
+	}
+	for _, q := range registered {
+		if q.Name == p.Name {
+			return fmt.Errorf("crc: algorithm %q is already registered", p.Name)
+		}
+	}
+	registered = append(registered, p)
+	return nil
+}
+
+// Catalogue returns all catalogued parameter sets — built-in standards
+// plus user registrations — sorted by name.
+func Catalogue() []Params {
+	all := builtin()
+	regMu.RLock()
+	all = append(all, registered...)
+	regMu.RUnlock()
 	sort.Slice(all, func(i, j int) bool { return all[i].Name < all[j].Name })
 	return all
 }

@@ -1,0 +1,91 @@
+package dist_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"koopmancrc/internal/dist"
+)
+
+// TestBatchedWorkerMatchesSingleMachine drives a full sweep through a
+// worker that coalesces results aggressively (tiny jobs, small batch)
+// and checks the merged summary is identical to a single-machine run —
+// batching must change wire traffic, never accounting.
+func TestBatchedWorkerMatchesSingleMachine(t *testing.T) {
+	coord, err := dist.NewCoordinator("127.0.0.1:0", dist.CoordinatorConfig{
+		Spec:         smallSpec,
+		JobSize:      4, // 32 jobs, so batches genuinely coalesce
+		LeaseTimeout: 30 * time.Second,
+		Logf:         t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+
+	w := dist.NewWorker(coord.Addr(), dist.WorkerConfig{
+		ID: "batcher", ResultBatch: 4, Logf: t.Logf,
+	})
+	done := make(chan error, 1)
+	go func() {
+		_, err := w.Run(context.Background())
+		done <- err
+	}()
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	sum, err := coord.Wait(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("worker: %v", err)
+	}
+	checkMatchesSingleMachine(t, smallSpec, sum)
+	if w.BatchesSent() == 0 {
+		t.Error("worker never sent a result batch despite ResultBatch=4 over 32 jobs")
+	}
+	if sum.Jobs != 32 {
+		t.Errorf("jobs = %d, want 32", sum.Jobs)
+	}
+}
+
+// TestBatchingDisabledSendsPlainResults pins the legacy path: with
+// coalescing off every result is its own message and the sweep still
+// completes exactly.
+func TestBatchingDisabledSendsPlainResults(t *testing.T) {
+	coord, err := dist.NewCoordinator("127.0.0.1:0", dist.CoordinatorConfig{
+		Spec:         smallSpec,
+		JobSize:      8,
+		LeaseTimeout: 30 * time.Second,
+		Logf:         t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+
+	w := dist.NewWorker(coord.Addr(), dist.WorkerConfig{
+		ID: "plain", ResultBatch: 1, Logf: t.Logf,
+	})
+	done := make(chan error, 1)
+	go func() {
+		_, err := w.Run(context.Background())
+		done <- err
+	}()
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	sum, err := coord.Wait(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("worker: %v", err)
+	}
+	checkMatchesSingleMachine(t, smallSpec, sum)
+	if w.BatchesSent() != 0 {
+		t.Errorf("ResultBatch=1 worker sent %d batches, want 0", w.BatchesSent())
+	}
+}

@@ -1,0 +1,81 @@
+package dist
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestBatchRoundTrip checks that coalesced result lines survive the
+// gzip/base64 trip bit-for-bit.
+func TestBatchRoundTrip(t *testing.T) {
+	results := []*message{
+		{Type: msgResult, Worker: "alpha", JobID: 3, Canonical: 17,
+			Survivors: []uint64{0x80, 0x83, 0x9b}, ElapsedNS: 1234,
+			Stages: []StageStat{{Name: "hd", In: 40, Out: 3, ElapsedNS: 99}}},
+		{Type: msgResult, Worker: "alpha", JobID: 4, Canonical: 0, ElapsedNS: 5},
+		{Type: msgResult, Worker: "alpha", JobID: 9, Canonical: 2,
+			Survivors: []uint64{0xff}},
+	}
+	b, err := encodeBatch("alpha", results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Type != msgResultBatch || b.Worker != "alpha" || b.Count != 3 {
+		t.Fatalf("envelope = %+v", b)
+	}
+	got, err := decodeBatch(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(results) {
+		t.Fatalf("decoded %d results, want %d", len(got), len(results))
+	}
+	for i := range results {
+		if !reflect.DeepEqual(got[i], results[i]) {
+			t.Errorf("result %d = %+v, want %+v", i, got[i], results[i])
+		}
+	}
+}
+
+// TestBatchDecodeRejectsGarbage checks the error paths an untrusted
+// worker could exercise.
+func TestBatchDecodeRejectsGarbage(t *testing.T) {
+	if _, err := decodeBatch(&message{Type: msgResultBatch, Worker: "x", Batch: "not base64!!", Count: 1}); err == nil {
+		t.Error("bad base64 should error")
+	}
+	if _, err := decodeBatch(&message{Type: msgResultBatch, Worker: "x", Batch: "aGVsbG8=", Count: 1}); err == nil {
+		t.Error("non-gzip payload should error")
+	}
+	if _, err := decodeBatch(&message{Type: msgResultBatch, Worker: "x"}); err == nil {
+		t.Error("missing count should error")
+	}
+	if _, err := decodeBatch(&message{Type: msgResultBatch, Worker: "x", Count: maxBatchResults + 1}); err == nil {
+		t.Error("absurd count should be rejected before any decompression")
+	}
+	b, err := encodeBatch("x", []*message{{Type: msgResult, JobID: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Count = 7
+	if _, err := decodeBatch(b); err == nil {
+		t.Error("count mismatch should error")
+	}
+	// A frame holding more results than it claims must stop mid-stream.
+	two, err := encodeBatch("x", []*message{{Type: msgResult, JobID: 1}, {Type: msgResult, JobID: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	two.Count = 1
+	if _, err := decodeBatch(two); err == nil {
+		t.Error("over-claimed batch should error during streaming")
+	}
+	// Non-result messages cannot ride a result batch past handleConn's
+	// type dispatch.
+	smuggled, err := encodeBatch("x", []*message{{Type: msgHeartbeat, JobID: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := decodeBatch(smuggled); err == nil {
+		t.Error("smuggled non-result message should be rejected")
+	}
+}

@@ -59,10 +59,16 @@ func (e *Evaluator) FirstDataLenStrategy(w, maxLen int, s Strategy) (int, []int,
 // {0,a} prefixes: the first position c whose syndrome completes a weight-3
 // pattern is the boundary.
 func (e *Evaluator) firstLen3(maxLen int) (int, []int, bool, error) {
+	if err := e.begin(3, maxLen); err != nil {
+		return 0, nil, false, err
+	}
 	n := e.codewordLen(maxLen)
 	syn := e.syndromes(n)
 	m := newU32Map(n)
 	for c := 1; c < n; c++ {
+		if err := e.tick(3, maxLen, 1); err != nil {
+			return 0, nil, false, err
+		}
 		if a := m.get(syn[c]); a >= 0 && int(a) != c {
 			wit := []int{0, int(a), c}
 			if err := e.verifyWitness(3, n, wit); err != nil {
@@ -82,11 +88,20 @@ func (e *Evaluator) firstLen3(maxLen int) (int, []int, bool, error) {
 // is the exact weight-4 boundary; the scan is O(c*^2) with a small
 // cache-resident hash table.
 func (e *Evaluator) firstLen4(maxLen int) (int, []int, bool, error) {
+	if err := e.begin(4, maxLen); err != nil {
+		return 0, nil, false, err
+	}
 	n := e.codewordLen(maxLen)
 	syn := e.syndromes(n)
 	m := newU32Map(n)
-	probes := int64(0)
+	// Probes fold into Stats row by row (not once at the end) so the
+	// counts carried by progress events stay live through what can be a
+	// multi-minute scan; start anchors this call's budget check.
+	start := e.Stats.Probes
 	for c := 1; c < n; c++ {
+		if err := e.tick(4, maxLen, int64(c-1)); err != nil {
+			return 0, nil, false, err
+		}
 		sc := syn[c]
 		for b := 1; b < c; b++ {
 			if a := m.get(syn[b] ^ sc); a >= 0 {
@@ -102,17 +117,16 @@ func (e *Evaluator) firstLen4(maxLen int) (int, []int, bool, error) {
 					return 0, nil, false, err
 				}
 				e.Stats.EarlyExits++
-				e.Stats.Probes += probes + int64(b)
+				e.Stats.Probes += int64(b)
 				return e.dataLenFor(c), wit, true, nil
 			}
 		}
-		probes += int64(c - 1)
-		if probes > e.opts.MaxProbes {
+		e.Stats.Probes += int64(c - 1)
+		if e.Stats.Probes-start > e.opts.MaxProbes {
 			return 0, nil, false, fmt.Errorf("%w: weight-4 scan at %d codeword bits", ErrBudgetExceeded, c)
 		}
 		m.put(1^sc, int32(c))
 	}
-	e.Stats.Probes += probes
 	return 0, nil, false, nil
 }
 

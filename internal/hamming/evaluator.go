@@ -52,6 +52,20 @@ const (
 // probe or memory budget; results are not available at this length.
 var ErrBudgetExceeded = errors.New("hamming: evaluation budget exceeded")
 
+// ErrCanceled reports that an evaluation was aborted by its cancel hook
+// (see WithCancel) before completing.
+var ErrCanceled = errors.New("hamming: evaluation canceled")
+
+// Event describes the progress of a long-running evaluation: the weight
+// being searched, the data-word length of the active existence query and
+// the evaluator's cumulative probe count. Events are emitted at the start
+// of each query and periodically inside long scans.
+type Event struct {
+	Weight  int   // pattern weight being searched
+	DataLen int   // data-word length of the active query
+	Probes  int64 // cumulative probes across the evaluator's lifetime
+}
+
 // Stats accumulates work counters across evaluator calls, used by the
 // benchmark harness to report the effect of each of the paper's
 // optimisations.
@@ -67,6 +81,12 @@ type Options struct {
 	MaxStoreEntries int
 	MaxPairBuffer   int
 	MaxProbes       int64
+	// Progress, when non-nil, receives Events at query boundaries and
+	// periodically inside long scans.
+	Progress func(Event)
+	// Cancel, when non-nil, is polled inside long scans; returning true
+	// aborts the query with an error wrapping ErrCanceled.
+	Cancel func() bool
 }
 
 // Option mutates evaluator options.
@@ -74,6 +94,13 @@ type Option func(*Options)
 
 // WithMaxProbes bounds the probe work per existence query.
 func WithMaxProbes(n int64) Option { return func(o *Options) { o.MaxProbes = n } }
+
+// WithProgress installs a progress hook receiving Events.
+func WithProgress(fn func(Event)) Option { return func(o *Options) { o.Progress = fn } }
+
+// WithCancel installs a cancellation hook polled inside long scans (for
+// wiring context.Context into an evaluation, poll ctx.Err() != nil).
+func WithCancel(fn func() bool) Option { return func(o *Options) { o.Cancel = fn } }
 
 // WithMaxPairBuffer bounds the exact weight-4 pair buffer (entries).
 func WithMaxPairBuffer(n int) Option { return func(o *Options) { o.MaxPairBuffer = n } }
@@ -102,8 +129,39 @@ type Evaluator struct {
 
 	bruteBudget int64 // per-call probe budget of the brute engine
 
+	tickOps int64 // scan operations since the last progress/cancel poll
+
 	opts  Options
 	Stats Stats
+}
+
+// tickEvery is how many scan operations pass between progress emissions
+// and cancellation polls inside long loops — frequent enough that
+// cancellation feels immediate, rare enough to stay off the hot path.
+const tickEvery = 1 << 20
+
+// begin emits the query-start event and gives cancellation a fast exit
+// between the sub-queries of a boundary search.
+func (e *Evaluator) begin(w, dataLen int) error {
+	if e.opts.Progress != nil {
+		e.opts.Progress(Event{Weight: w, DataLen: dataLen, Probes: e.Stats.Probes})
+	}
+	if e.opts.Cancel != nil && e.opts.Cancel() {
+		return fmt.Errorf("%w: weight-%d query at %d data bits", ErrCanceled, w, dataLen)
+	}
+	return nil
+}
+
+// tick accumulates scan work and, roughly every tickEvery operations,
+// emits a progress event and polls the cancel hook. Loops call it once
+// per outer iteration with the inner work just performed.
+func (e *Evaluator) tick(w, dataLen int, ops int64) error {
+	e.tickOps += ops
+	if e.tickOps < tickEvery {
+		return nil
+	}
+	e.tickOps = 0
+	return e.begin(w, dataLen)
 }
 
 // New returns an evaluator for the polynomial.

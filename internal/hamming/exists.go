@@ -48,6 +48,9 @@ func (e *Evaluator) Exists(w, dataLen int) ([]int, bool, error) {
 
 // meetInMiddle searches for a weight-w multiple of G within n codeword bits.
 func (e *Evaluator) meetInMiddle(w, n int) ([]int, bool, error) {
+	if err := e.begin(w, n-e.width); err != nil {
+		return nil, false, err
+	}
 	rem := w - 1
 	p := rem / 2
 	q := rem - p // p <= q; the smaller side is materialised
@@ -65,10 +68,15 @@ func (e *Evaluator) meetInMiddle(w, n int) ([]int, bool, error) {
 	} else {
 		set = bitmapSet(e.bitset())
 	}
-	e.enumStore(syn, n, p, set)
+	if err := e.enumStore(syn, n, w, p, set); err != nil {
+		return nil, false, err
+	}
 	e.Stats.StoreOps += storeCount
 
-	witness, found := e.probe(syn, n, p, q, set)
+	witness, found, err := e.probe(syn, n, w, p, q, set)
+	if err != nil {
+		return nil, false, err
+	}
 	if found {
 		e.Stats.EarlyExits++
 		if err := e.verifyWitness(w, n, witness); err != nil {
@@ -120,7 +128,9 @@ func (s mapSet) add(v uint32)      { s.m.put(v, 0) }
 func (s mapSet) has(v uint32) bool { return s.m.get(v) >= 0 }
 
 // enumStore inserts the syndromes of all p-subsets of positions [1, n).
-func (e *Evaluator) enumStore(syn []uint32, n, p int, set synSet) {
+// The weight w of the enclosing query labels progress events.
+func (e *Evaluator) enumStore(syn []uint32, n, w, p int, set synSet) error {
+	dataLen := n - e.width
 	switch p {
 	case 1:
 		for i := 1; i < n; i++ {
@@ -128,48 +138,59 @@ func (e *Evaluator) enumStore(syn []uint32, n, p int, set synSet) {
 		}
 	case 2:
 		for i := 1; i < n; i++ {
+			if err := e.tick(w, dataLen, int64(n-i)); err != nil {
+				return err
+			}
 			si := syn[i]
 			for j := i + 1; j < n; j++ {
 				set.add(si ^ syn[j])
 			}
 		}
 	default:
-		var rec func(start, left int, acc uint32)
-		rec = func(start, left int, acc uint32) {
+		var rec func(start, left int, acc uint32) error
+		rec = func(start, left int, acc uint32) error {
 			if left == 0 {
 				set.add(acc)
-				return
+				return e.tick(w, dataLen, 1)
 			}
 			for i := start; i <= n-left; i++ {
-				rec(i+1, left-1, acc^syn[i])
+				if err := rec(i+1, left-1, acc^syn[i]); err != nil {
+					return err
+				}
 			}
+			return nil
 		}
-		rec(1, p, 0)
+		return rec(1, p, 0)
 	}
+	return nil
 }
 
 // probe enumerates q-subsets of [1, n) joined with position 0, testing each
 // syndrome against the store set; hits are resolved into explicit disjoint
-// witnesses.
-func (e *Evaluator) probe(syn []uint32, n, p, q int, set synSet) ([]int, bool) {
+// witnesses. The weight w of the enclosing query labels progress events.
+func (e *Evaluator) probe(syn []uint32, n, w, p, q int, set synSet) ([]int, bool, error) {
+	dataLen := n - e.width
 	base := syn[0] // == 1
 	switch q {
 	case 1:
 		for b := 1; b < n; b++ {
 			if set.has(base ^ syn[b]) {
 				if wit, ok := e.resolve(syn, n, p, base^syn[b], []int{0, b}); ok {
-					return wit, true
+					return wit, true, nil
 				}
 			}
 		}
 		e.Stats.Probes += int64(n - 1)
 	case 2:
 		for b := 1; b < n; b++ {
+			if err := e.tick(w, dataLen, int64(n-1-b)); err != nil {
+				return nil, false, err
+			}
 			vb := base ^ syn[b]
 			for c := b + 1; c < n; c++ {
 				if set.has(vb ^ syn[c]) {
 					if wit, ok := e.resolve(syn, n, p, vb^syn[c], []int{0, b, c}); ok {
-						return wit, true
+						return wit, true, nil
 					}
 				}
 			}
@@ -179,11 +200,14 @@ func (e *Evaluator) probe(syn []uint32, n, p, q int, set synSet) ([]int, bool) {
 		for b := 1; b < n; b++ {
 			vb := base ^ syn[b]
 			for c := b + 1; c < n; c++ {
+				if err := e.tick(w, dataLen, int64(n-1-c)); err != nil {
+					return nil, false, err
+				}
 				vc := vb ^ syn[c]
 				for d := c + 1; d < n; d++ {
 					if set.has(vc ^ syn[d]) {
 						if wit, ok := e.resolve(syn, n, p, vc^syn[d], []int{0, b, c, d}); ok {
-							return wit, true
+							return wit, true, nil
 						}
 					}
 				}
@@ -192,30 +216,34 @@ func (e *Evaluator) probe(syn []uint32, n, p, q int, set synSet) ([]int, bool) {
 		}
 	default:
 		pos := make([]int, 0, q+1)
-		var rec func(start, left int, acc uint32) ([]int, bool)
-		rec = func(start, left int, acc uint32) ([]int, bool) {
+		var rec func(start, left int, acc uint32) ([]int, bool, error)
+		rec = func(start, left int, acc uint32) ([]int, bool, error) {
 			if left == 0 {
 				e.Stats.Probes++
+				if err := e.tick(w, dataLen, 1); err != nil {
+					return nil, false, err
+				}
 				if set.has(acc) {
 					probeSet := append([]int{0}, pos...)
 					if wit, ok := e.resolve(syn, n, p, acc, probeSet); ok {
-						return wit, true
+						return wit, true, nil
 					}
 				}
-				return nil, false
+				return nil, false, nil
 			}
 			for i := start; i <= n-left; i++ {
 				pos = append(pos, i)
-				if wit, ok := rec(i+1, left-1, acc^syn[i]); ok {
-					return wit, true
+				wit, ok, err := rec(i+1, left-1, acc^syn[i])
+				if ok || err != nil {
+					return wit, ok, err
 				}
 				pos = pos[:len(pos)-1]
 			}
-			return nil, false
+			return nil, false, nil
 		}
 		return rec(1, q, base)
 	}
-	return nil, false
+	return nil, false, nil
 }
 
 // resolve turns a store hit into an explicit witness: it re-enumerates

@@ -69,6 +69,14 @@ func (e *Evaluator) Profile(maxLen, maxHD int) (*Profile, error) {
 	return p, nil
 }
 
+// BandsFromTransitions converts weight boundaries into the contiguous HD
+// bands covering [1, maxLen], exactly as Profile does — exported so
+// memoizing callers that discover transitions incrementally can build the
+// same band structure.
+func BandsFromTransitions(ts []Transition, maxLen, maxHD int) []Band {
+	return bandsFromTransitions(ts, maxLen, maxHD)
+}
+
 // bandsFromTransitions converts weight boundaries into contiguous HD bands.
 func bandsFromTransitions(ts []Transition, maxLen, maxHD int) []Band {
 	events := append([]Transition(nil), ts...)

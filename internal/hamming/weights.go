@@ -72,10 +72,16 @@ func (e *Evaluator) weight4(dataLen int) (uint64, error) {
 		return 0, fmt.Errorf("%w: exact W4 at %d codeword bits needs %d pair entries (limit %d)",
 			ErrBudgetExceeded, n, pairs, e.opts.MaxPairBuffer)
 	}
+	if err := e.begin(4, dataLen); err != nil {
+		return 0, err
+	}
 	syn := e.syndromes(n)
 	buf := make([]uint32, pairs)
 	idx := 0
 	for i := 0; i < n; i++ {
+		if err := e.tick(4, dataLen, int64(n-i-1)); err != nil {
+			return 0, err
+		}
 		si := syn[i]
 		for j := i + 1; j < n; j++ {
 			buf[idx] = si ^ syn[j]

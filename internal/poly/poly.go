@@ -97,6 +97,11 @@ func FromNormal(width int, n uint64) (P, error) {
 // FromReversed builds a polynomial from the reflected (LSB-first)
 // representation used by hash/crc32.
 func FromReversed(width int, r uint64) (P, error) {
+	if width >= 1 && width < 64 && r>>uint(width) != 0 {
+		// Without this check the overflow bits would silently reverse
+		// out of range, accepting a corrupted constant.
+		return P{}, fmt.Errorf("poly: reversed form %#x overflows width %d", r, width)
+	}
 	n := uint64(gf2.Reverse(gf2.Poly(r), width))
 	return FromNormal(width, n)
 }

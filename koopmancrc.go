@@ -4,25 +4,33 @@
 //
 // It answers the three questions the paper poses:
 //
-//   - How good is a CRC polynomial? Evaluate computes exact Hamming
-//     distance bands (Table 1 / Figure 1) and undetectable-error weights.
-//   - Which polynomial should a new protocol adopt? SelectPolynomial ranks
-//     candidates for a target message length, reproducing the paper's §4.3
-//     iSCSI recommendation of 0xBA0DC66B.
-//   - Are there better polynomials out there? Search filters slices of the
-//     full design space with the paper's §4.1 optimisations (see
+//   - How good is a CRC polynomial? An Analyzer is a cached evaluation
+//     session for one polynomial: Evaluate computes exact Hamming
+//     distance bands (Table 1 / Figure 1), HDAt, MaxLenAtHD, Weight and
+//     Witness answer pointwise questions, and every boundary discovered
+//     by one call is reused by the next.
+//   - Which polynomial should a new protocol adopt? Select (and
+//     SelectAnalyzers, over caller-owned sessions) ranks candidates for
+//     a target message length, reproducing the paper's §4.3 iSCSI
+//     recommendation of 0xBA0DC66B.
+//   - Are there better polynomials out there? Search filters slices of
+//     the full design space with the paper's §4.1 optimisations (see
 //     internal/dist for the multi-machine version).
 //
-// Checksum computation itself is provided through the Checksum and
-// NewEngine helpers (bitwise, table-driven and slicing-by-8 engines,
-// validated against hash/crc32).
+// All long-running entry points take a context.Context and accept
+// functional options (WithMaxHD, WithProgress, WithLimits).
+//
+// Checksum computation lives in the koopmancrc/crchash subpackage:
+// catalogued algorithms, user registration, engine selection and
+// hash.Hash32 digests, with engines cached per algorithm. The Checksum
+// and NewEngine helpers here remain as deprecated wrappers over it.
 package koopmancrc
 
 import (
 	"context"
 	"fmt"
-	"sort"
 
+	"koopmancrc/crchash"
 	"koopmancrc/internal/core"
 	"koopmancrc/internal/crc"
 	"koopmancrc/internal/errmodel"
@@ -121,7 +129,9 @@ func (r *Report) MaxLenAtHD(hd int) (int, bool) {
 	return best, best > 0
 }
 
-// EvaluateOptions tune Evaluate.
+// EvaluateOptions tune the deprecated Evaluate wrapper.
+//
+// Deprecated: pass WithMaxHD to NewAnalyzer instead.
 type EvaluateOptions struct {
 	// MaxHD bounds the classified Hamming distances (default 13).
 	MaxHD int
@@ -131,51 +141,44 @@ type EvaluateOptions struct {
 // maxLen data bits — one column of the paper's Table 1. Cost grows with
 // the polynomial's weight-4 boundary; the full 131072-bit evaluation of a
 // Table 1 polynomial takes seconds to about a minute.
+//
+// Deprecated: use NewAnalyzer(p).Evaluate(ctx, maxLen) — the Analyzer
+// keeps the boundary scans this function recomputes on every call, and
+// its context supports cancellation.
 func Evaluate(p Polynomial, maxLen int, opts *EvaluateOptions) (*Report, error) {
-	maxHD := 13
+	var o []Option
 	if opts != nil && opts.MaxHD >= 2 {
-		maxHD = opts.MaxHD
+		o = append(o, WithMaxHD(opts.MaxHD))
 	}
-	ev := hamming.New(p)
-	prof, err := ev.Profile(maxLen, maxHD)
-	if err != nil {
-		return nil, fmt.Errorf("evaluate %v: %w", p, err)
-	}
-	shape, err := p.Shape()
-	if err != nil {
-		return nil, err
-	}
-	period, _ := p.Period() // period can exceed uint64-practical ranges only on error
-	return &Report{
-		Poly:        p,
-		MaxLen:      maxLen,
-		Bands:       prof.Bands,
-		Transitions: prof.Transitions,
-		Shape:       shape,
-		Period:      period,
-		ParityBit:   p.DivisibleByXPlus1(),
-	}, nil
+	return NewAnalyzer(p, o...).Evaluate(context.Background(), maxLen)
 }
 
 // HammingDistanceAt returns the exact Hamming distance of the polynomial
 // at one data-word length (searching weights up to maxHD; exact=false
 // means the true HD exceeds maxHD).
+//
+// Deprecated: use NewAnalyzer(p, WithMaxHD(maxHD)).HDAt(ctx, dataLen),
+// which reuses the session's cached knowledge across calls.
 func HammingDistanceAt(p Polynomial, dataLen, maxHD int) (hd int, exact bool, err error) {
-	return hamming.New(p).HDAt(dataLen, maxHD)
+	return NewAnalyzer(p, WithMaxHD(maxHD)).HDAt(context.Background(), dataLen)
 }
 
 // UndetectableWeight returns the exact number of undetectable w-bit error
 // patterns at a data-word length (w <= 4), e.g. 223059 for the 802.3
 // polynomial with w=4 at 12112 bits.
+//
+// Deprecated: use NewAnalyzer(p).Weight(ctx, w, dataLen).
 func UndetectableWeight(p Polynomial, w, dataLen int) (uint64, error) {
-	return hamming.New(p).Weight(w, dataLen)
+	return NewAnalyzer(p).Weight(context.Background(), w, dataLen)
 }
 
 // UndetectableWitness returns one undetectable error pattern of exactly w
 // bits at the given length, as codeword bit positions (position 0 = last
 // transmitted bit).
+//
+// Deprecated: use NewAnalyzer(p).Witness(ctx, w, dataLen).
 func UndetectableWitness(p Polynomial, w, dataLen int) (positions []int, found bool, err error) {
-	return hamming.New(p).Exists(w, dataLen)
+	return NewAnalyzer(p).Witness(context.Background(), w, dataLen)
 }
 
 // Selection scores one candidate for SelectPolynomial.
@@ -189,47 +192,12 @@ type Selection struct {
 
 // SelectPolynomial ranks candidates for protecting messages of the given
 // data-word length: highest HD at that length first, ties broken by how
-// far the HD extends (the paper's argument for 0xBA0DC66B over 0x8F6E37A0
-// at iSCSI lengths). It returns the ranking, best first.
+// far the HD extends. It returns the ranking, best first.
 //
-// Coverage is explored up to four times the target length; a candidate
-// whose HD persists beyond that horizon reports CoverageAtHD equal to the
-// horizon.
+// Deprecated: use Select(ctx, candidates, dataLen, WithMaxHD(maxHD)),
+// or SelectAnalyzers to reuse evaluation sessions across calls.
 func SelectPolynomial(candidates []Polynomial, dataLen, maxHD int) ([]Selection, error) {
-	if len(candidates) == 0 {
-		return nil, fmt.Errorf("koopmancrc: no candidates")
-	}
-	out := make([]Selection, 0, len(candidates))
-	horizon := 4 * dataLen
-	for _, p := range candidates {
-		ev := hamming.New(p)
-		hd, _, err := ev.HDAt(dataLen, maxHD)
-		if err != nil {
-			return nil, fmt.Errorf("select: %v: %w", p, err)
-		}
-		// Coverage is the length just before the earliest boundary past
-		// dataLen among weights <= hd. Searching weights in ascending
-		// order with a shrinking limit keeps each boundary scan bounded by
-		// boundaries already found (as in Profile).
-		limit := horizon
-		for w := 2; w <= hd && limit > dataLen; w++ {
-			first, _, found, err := ev.FirstDataLen(w, limit)
-			if err != nil {
-				return nil, err
-			}
-			if found && first > dataLen && first-1 < limit {
-				limit = first - 1
-			}
-		}
-		out = append(out, Selection{Poly: p, HD: hd, CoverageAtHD: limit})
-	}
-	sort.SliceStable(out, func(i, j int) bool {
-		if out[i].HD != out[j].HD {
-			return out[i].HD > out[j].HD
-		}
-		return out[i].CoverageAtHD > out[j].CoverageAtHD
-	})
-	return out, nil
+	return Select(context.Background(), candidates, dataLen, WithMaxHD(maxHD))
 }
 
 // SearchConfig describes a design-space search (see the paper's §4).
@@ -301,35 +269,32 @@ func Search(ctx context.Context, cfg SearchConfig) (*SearchResult, error) {
 }
 
 // Checksum computes the CRC of data under a catalogued algorithm name
-// (e.g. "CRC-32/IEEE-802.3", "CRC-32C/iSCSI", "CRC-32K/Koopman").
+// (e.g. "CRC-32/IEEE-802.3", "CRC-32C/iSCSI", "CRC-32K/Koopman"). It
+// uses crchash's per-algorithm engine cache, so repeated calls no longer
+// rebuild lookup tables.
+//
+// Deprecated: use crchash.Checksum.
 func Checksum(algorithm string, data []byte) (uint32, error) {
-	params, err := crc.Lookup(algorithm)
-	if err != nil {
-		return 0, err
-	}
-	return crc.New(params).Checksum(data), nil
+	return crchash.Checksum(algorithm, data)
 }
 
 // Algorithms lists the catalogued algorithm names.
-func Algorithms() []string {
-	cat := crc.Catalogue()
-	out := make([]string, len(cat))
-	for i, p := range cat {
-		out[i] = p.Name
-	}
-	return out
-}
+//
+// Deprecated: use crchash.Algorithms.
+func Algorithms() []string { return crchash.Algorithms() }
 
 // Engine computes CRCs incrementally; obtain one from NewEngine.
+//
+// Deprecated: use crchash.Engine.
 type Engine = crc.Engine
 
-// NewEngine returns a streaming engine for a catalogued algorithm.
+// NewEngine returns a streaming engine for a catalogued algorithm,
+// served from crchash's per-algorithm cache.
+//
+// Deprecated: use crchash.ForAlgorithm (cached) or crchash.NewEngine
+// (explicit engine kind).
 func NewEngine(algorithm string) (Engine, error) {
-	params, err := crc.Lookup(algorithm)
-	if err != nil {
-		return nil, err
-	}
-	return crc.New(params), nil
+	return crchash.ForAlgorithm(algorithm)
 }
 
 // PureChecksum computes the plain polynomial-remainder CRC (zero init, no
