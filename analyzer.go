@@ -57,6 +57,16 @@ type EvalStats struct {
 	Resolutions int64 // bitmap hits re-resolved into explicit witnesses
 }
 
+// MemoStats sizes the knowledge an Analyzer session has memoized and the
+// engine work spent acquiring it, letting a pool of sessions report the
+// cost and value of each one (and evict the cheap-to-rebuild ones first).
+type MemoStats struct {
+	BoundWeights    int   // pattern weights with any boundary knowledge
+	ExactBoundaries int   // weights whose first-length boundary is exact
+	WeightEntries   int   // exact (weight, length) count memo entries
+	Probes          int64 // engine probes spent across the session's lifetime
+}
+
 // Option configures an Analyzer or a Select call.
 type Option func(*options)
 
@@ -149,6 +159,7 @@ type Analyzer struct {
 	// so Shape/Period/Stats never wait behind a long evaluation.
 	factsMu   sync.Mutex
 	stats     EvalStats // snapshot taken as each evaluation call returns
+	memo      MemoStats // snapshot taken alongside stats
 	shape     string
 	shapeErr  error
 	shapeSet  bool
@@ -307,17 +318,26 @@ func (a *Analyzer) run(ctx context.Context, fn func() error) error {
 	a.ctx = ctx
 	defer func() { a.ctx = nil }()
 	err := mapErr(ctx, fn())
-	if a.ev != nil {
-		s := a.ev.Stats
-		a.factsMu.Lock()
-		a.stats = EvalStats{
-			Probes:      s.Probes,
-			StoreOps:    s.StoreOps,
-			EarlyExits:  s.EarlyExits,
-			Resolutions: s.Resolutions,
+	memo := MemoStats{BoundWeights: len(a.bounds), WeightEntries: len(a.wts)}
+	for _, b := range a.bounds {
+		if b.exact {
+			memo.ExactBoundaries++
 		}
-		a.factsMu.Unlock()
 	}
+	var s hamming.Stats
+	if a.ev != nil {
+		s = a.ev.Stats
+	}
+	memo.Probes = s.Probes
+	a.factsMu.Lock()
+	a.stats = EvalStats{
+		Probes:      s.Probes,
+		StoreOps:    s.StoreOps,
+		EarlyExits:  s.EarlyExits,
+		Resolutions: s.Resolutions,
+	}
+	a.memo = memo
+	a.factsMu.Unlock()
 	return err
 }
 
@@ -569,6 +589,16 @@ func (a *Analyzer) Stats() EvalStats {
 	a.factsMu.Lock()
 	defer a.factsMu.Unlock()
 	return a.stats
+}
+
+// MemoStats sizes the session's memo: how many weight boundaries and
+// exact counts it holds, and the engine probes spent building them. Like
+// Stats, the snapshot is refreshed as each evaluation call completes, so
+// monitoring never waits behind an in-flight evaluation.
+func (a *Analyzer) MemoStats() MemoStats {
+	a.factsMu.Lock()
+	defer a.factsMu.Unlock()
+	return a.memo
 }
 
 // Select ranks candidate polynomials for protecting messages of the

@@ -109,6 +109,44 @@ func TestAnalyzerEvaluateGrowsConsistently(t *testing.T) {
 	}
 }
 
+// TestAnalyzerMemoStats exercises the memo-size accessor the serving
+// pool reads: counts grow with discovered knowledge, probes match the
+// work counters, and a warm repeat adds nothing.
+func TestAnalyzerMemoStats(t *testing.T) {
+	ctx := context.Background()
+	an := NewAnalyzer(CastagnoliISCSI, WithMaxHD(6))
+	if m := an.MemoStats(); m != (MemoStats{}) {
+		t.Fatalf("fresh session memo %+v", m)
+	}
+	if _, err := an.Evaluate(ctx, 512); err != nil {
+		t.Fatal(err)
+	}
+	m1 := an.MemoStats()
+	if m1.BoundWeights == 0 || m1.ExactBoundaries == 0 || m1.Probes == 0 {
+		t.Fatalf("post-evaluate memo %+v", m1)
+	}
+	if m1.ExactBoundaries > m1.BoundWeights {
+		t.Fatalf("more exact boundaries than bound weights: %+v", m1)
+	}
+	if got := an.Stats().Probes; got != m1.Probes {
+		t.Fatalf("MemoStats probes %d != Stats probes %d", m1.Probes, got)
+	}
+	if _, err := an.Weight(ctx, 4, 256); err != nil {
+		t.Fatal(err)
+	}
+	m2 := an.MemoStats()
+	if m2.WeightEntries != 1 {
+		t.Fatalf("weight memo entries %+v", m2)
+	}
+	// Warm repeat: no new knowledge, no new probes.
+	if _, err := an.Evaluate(ctx, 512); err != nil {
+		t.Fatal(err)
+	}
+	if m3 := an.MemoStats(); m3 != m2 {
+		t.Fatalf("warm repeat changed the memo: %+v -> %+v", m2, m3)
+	}
+}
+
 // TestAnalyzerContextCancel checks both the fast path (already-cancelled
 // context) and mid-scan cancellation of an expensive evaluation.
 func TestAnalyzerContextCancel(t *testing.T) {

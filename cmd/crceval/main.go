@@ -5,33 +5,38 @@
 //
 // Usage:
 //
-//	crceval -poly 0xBA0DC66B [-width 32] [-notation koopman] [-max 131072] [-maxhd 13] [-weights 400,12112] [-progress]
+//	crceval -poly 0xBA0DC66B [-width 32] [-notation koopman] [-max 131072] [-maxhd 13] [-weights 400,12112] [-progress] [-json]
 //
 // Long evaluations honour SIGINT: the boundary scans are cancelled
 // mid-search and the command exits cleanly. -progress streams the live
-// search state (weight, length, probe count) to stderr.
+// search state (weight, length, probe count) to stderr. -json emits the
+// serve package's wire form instead of text, byte-comparable with a
+// crcserve /v1/evaluate response for the same request.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"strconv"
 	"strings"
 
 	"koopmancrc"
+	"koopmancrc/serve"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "crceval:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("crceval", flag.ContinueOnError)
 	polyStr := fs.String("poly", "", "polynomial in hex (required)")
 	width := fs.Int("width", 32, "CRC width in bits")
@@ -40,6 +45,7 @@ func run(args []string) error {
 	maxHD := fs.Int("maxhd", 13, "largest Hamming distance to classify")
 	weights := fs.String("weights", "", "comma-separated lengths for exact W2..W4 computation")
 	progress := fs.Bool("progress", false, "stream live search progress to stderr")
+	asJSON := fs.Bool("json", false, "emit the serve wire form (matches /v1/evaluate byte for byte)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -47,13 +53,23 @@ func run(args []string) error {
 		fs.Usage()
 		return fmt.Errorf("-poly is required")
 	}
-	n, err := parseNotation(*notation)
+	n, err := serve.ParseNotation(*notation)
 	if err != nil {
 		return err
 	}
 	p, err := koopmancrc.ParsePolynomial(*width, n, *polyStr)
 	if err != nil {
 		return err
+	}
+	var lengths []int
+	if *weights != "" {
+		for _, part := range strings.Split(*weights, ",") {
+			l, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil {
+				return fmt.Errorf("bad -weights entry %q: %w", part, err)
+			}
+			lengths = append(lengths, l)
+		}
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -72,57 +88,47 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("polynomial      %s (koopman) = %#x (normal) = %#x (reversed)\n",
+
+	if *asJSON {
+		wcs, err := serve.WeightCounts(ctx, an, lengths)
+		if err != nil {
+			return err
+		}
+		return json.NewEncoder(out).Encode(serve.NewEvaluateResponse(rep, *maxHD, wcs))
+	}
+
+	fmt.Fprintf(out, "polynomial      %s (koopman) = %#x (normal) = %#x (reversed)\n",
 		p, p.In(koopmancrc.Normal), p.In(koopmancrc.Reversed))
-	fmt.Printf("algebraic       %s\n", p.AlgebraicString())
-	fmt.Printf("factorization   %s\n", rep.Shape)
-	fmt.Printf("period (ord x)  %d\n", rep.Period)
-	fmt.Printf("parity ((x+1)|G) %v\n", rep.ParityBit)
-	fmt.Printf("\nHD bands to %d data bits:\n", rep.MaxLen)
+	fmt.Fprintf(out, "algebraic       %s\n", p.AlgebraicString())
+	fmt.Fprintf(out, "factorization   %s\n", rep.Shape)
+	fmt.Fprintf(out, "period (ord x)  %d\n", rep.Period)
+	fmt.Fprintf(out, "parity ((x+1)|G) %v\n", rep.ParityBit)
+	fmt.Fprintf(out, "\nHD bands to %d data bits:\n", rep.MaxLen)
 	for _, b := range rep.Bands {
 		ge := " "
 		if b.AtLeast {
 			ge = ">="
 		}
-		fmt.Printf("  HD %s%2d : %6d - %6d bits\n", ge, b.HD, b.From, b.To)
+		fmt.Fprintf(out, "  HD %s%2d : %6d - %6d bits\n", ge, b.HD, b.From, b.To)
 	}
-	fmt.Println("\nweight boundaries (first length with W_w > 0):")
+	fmt.Fprintln(out, "\nweight boundaries (first length with W_w > 0):")
 	for _, tr := range rep.Transitions {
-		fmt.Printf("  w=%2d at %6d bits  witness %v  (%v)\n", tr.W, tr.FirstLen, tr.Witness, tr.Elapsed.Round(1000))
+		fmt.Fprintf(out, "  w=%2d at %6d bits  witness %v  (%v)\n", tr.W, tr.FirstLen, tr.Witness, tr.Elapsed.Round(1000))
 	}
 
-	if *weights != "" {
-		fmt.Println("\nexact weights:")
-		for _, part := range strings.Split(*weights, ",") {
-			l, err := strconv.Atoi(strings.TrimSpace(part))
-			if err != nil {
-				return fmt.Errorf("bad -weights entry %q: %w", part, err)
-			}
-			fmt.Printf("  length %d:", l)
+	if len(lengths) > 0 {
+		fmt.Fprintln(out, "\nexact weights:")
+		for _, l := range lengths {
+			fmt.Fprintf(out, "  length %d:", l)
 			for w := 2; w <= 4; w++ {
 				v, err := an.Weight(ctx, w, l)
 				if err != nil {
 					return err
 				}
-				fmt.Printf(" W%d=%d", w, v)
+				fmt.Fprintf(out, " W%d=%d", w, v)
 			}
-			fmt.Println()
+			fmt.Fprintln(out)
 		}
 	}
 	return nil
-}
-
-func parseNotation(s string) (koopmancrc.Notation, error) {
-	switch strings.ToLower(s) {
-	case "koopman":
-		return koopmancrc.Koopman, nil
-	case "normal":
-		return koopmancrc.Normal, nil
-	case "reversed":
-		return koopmancrc.Reversed, nil
-	case "full":
-		return koopmancrc.Full, nil
-	default:
-		return 0, fmt.Errorf("unknown notation %q", s)
-	}
 }

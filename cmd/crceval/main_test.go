@@ -1,9 +1,18 @@
 package main
 
-import "testing"
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"koopmancrc/serve"
+)
 
 func TestRunSmallEvaluation(t *testing.T) {
-	err := run([]string{"-poly", "0x8810", "-width", "16", "-max", "256", "-maxhd", "8", "-weights", "32,64"})
+	err := run([]string{"-poly", "0x8810", "-width", "16", "-max", "256", "-maxhd", "8", "-weights", "32,64"}, io.Discard)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -14,23 +23,72 @@ func TestRunNotations(t *testing.T) {
 		v := map[string]string{
 			"koopman": "0x83", "normal": "0x07", "reversed": "0xE0", "full": "0x107",
 		}[n]
-		if err := run([]string{"-poly", v, "-width", "8", "-notation", n, "-max", "64", "-maxhd", "6"}); err != nil {
+		if err := run([]string{"-poly", v, "-width", "8", "-notation", n, "-max", "64", "-maxhd", "6"}, io.Discard); err != nil {
 			t.Errorf("notation %s: %v", n, err)
 		}
 	}
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run([]string{"-max", "64"}); err == nil {
+	if err := run([]string{"-max", "64"}, io.Discard); err == nil {
 		t.Error("missing -poly should error")
 	}
-	if err := run([]string{"-poly", "0x83", "-width", "8", "-notation", "bogus"}); err == nil {
+	if err := run([]string{"-poly", "0x83", "-width", "8", "-notation", "bogus"}, io.Discard); err == nil {
 		t.Error("bad notation should error")
 	}
-	if err := run([]string{"-poly", "zz", "-width", "8", "-max", "64"}); err == nil {
+	if err := run([]string{"-poly", "zz", "-width", "8", "-max", "64"}, io.Discard); err == nil {
 		t.Error("bad hex should error")
 	}
-	if err := run([]string{"-poly", "0x83", "-width", "8", "-max", "64", "-weights", "x"}); err == nil {
+	if err := run([]string{"-poly", "0x83", "-width", "8", "-max", "64", "-weights", "x"}, io.Discard); err == nil {
 		t.Error("bad weights list should error")
+	}
+}
+
+// TestRunJSONMatchesServer pins the satellite contract: crceval -json and
+// a crcserve /v1/evaluate response for the same request are byte-equal,
+// because both sides assemble and encode the same wire type.
+func TestRunJSONMatchesServer(t *testing.T) {
+	var cli bytes.Buffer
+	err := run([]string{"-poly", "0x8810", "-width", "16", "-max", "256", "-maxhd", "8", "-weights", "32,64", "-json"}, &cli)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	srv := serve.New(serve.Config{})
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	body, err := json.Marshal(serve.EvaluateRequest{
+		PolyRef: serve.PolyRef{Poly: "0x8810", Width: 16},
+		MaxLen:  256,
+		MaxHD:   8,
+		Weights: []int{32, 64},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/evaluate", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("server status %d", resp.StatusCode)
+	}
+	www, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(cli.Bytes(), www) {
+		t.Fatalf("CLI and server JSON differ:\ncli: %s\nsrv: %s", cli.Bytes(), www)
+	}
+
+	// And the wire form round-trips.
+	var decoded serve.EvaluateResponse
+	if err := json.Unmarshal(cli.Bytes(), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Poly != "0x8810" || decoded.Width != 16 || len(decoded.Weights) != 2 {
+		t.Fatalf("decoded response %+v", decoded)
 	}
 }

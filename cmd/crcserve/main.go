@@ -1,0 +1,114 @@
+// Command crcserve serves the koopmancrc evaluation and checksum API
+// over HTTP: JSON endpoints backed by a bounded LRU pool of Analyzer
+// sessions with singleflight coalescing of identical evaluations (see
+// the serve package for the endpoint reference).
+//
+// Usage:
+//
+//	crcserve [-addr :8370] [-pool 64] [-maxlen 1048576] [-maxhd 13]
+//	         [-timeout 0] [-maxprobes 0] [-token SECRET]
+//	         [-cert server.crt -key server.key]
+//
+// -token enables bearer-token auth (constant-time comparison) on every
+// endpoint except /healthz; -cert/-key switch the listener to TLS. The
+// server shuts down gracefully on SIGINT/SIGTERM, cancelling in-flight
+// evaluations through the engines' cancellation hooks.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"koopmancrc"
+	"koopmancrc/serve"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "crcserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("crcserve", flag.ContinueOnError)
+	addr := fs.String("addr", ":8370", "listen address")
+	cert := fs.String("cert", "", "TLS certificate file (requires -key)")
+	key := fs.String("key", "", "TLS private key file (requires -cert)")
+	token := fs.String("token", "", "bearer token required on every endpoint except /healthz")
+	pool := fs.Int("pool", 64, "maximum live Analyzer sessions (LRU beyond it)")
+	maxLen := fs.Int("maxlen", 1<<20, "clamp on per-request max_len/horizon (bits)")
+	maxHD := fs.Int("maxhd", koopmancrc.DefaultMaxHD, "clamp on per-request max_hd")
+	timeout := fs.Duration("timeout", 0, "per-request evaluation deadline (0 = none)")
+	maxProbes := fs.Int64("maxprobes", 0, "ceiling on per-request probe budgets (0 = engine default)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if (*cert == "") != (*key == "") {
+		return errors.New("-cert and -key must be given together")
+	}
+
+	srv := serve.New(serve.Config{
+		PoolSize:  *pool,
+		MaxLenCap: *maxLen,
+		MaxHDCap:  *maxHD,
+		Timeout:   *timeout,
+		Token:     *token,
+		Limits:    koopmancrc.Limits{MaxProbes: *maxProbes},
+	})
+	defer srv.Close()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	scheme := "http"
+	if *cert != "" {
+		scheme = "https"
+	}
+	fmt.Fprintf(out, "crcserve listening on %s://%s\n", scheme, ln.Addr())
+
+	hs := &http.Server{
+		Handler:           srv,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errCh := make(chan error, 1)
+	go func() {
+		if *cert != "" {
+			errCh <- hs.ServeTLS(ln, *cert, *key)
+		} else {
+			errCh <- hs.Serve(ln)
+		}
+	}()
+
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	// Cancel in-flight evaluations first — a long boundary scan would
+	// otherwise hold Shutdown until its connection drained — then drain
+	// the listener gracefully.
+	srv.Close()
+	sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(sctx); err != nil {
+		return err
+	}
+	if err := <-errCh; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	fmt.Fprintln(out, "crcserve stopped")
+	return nil
+}

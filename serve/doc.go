@@ -1,0 +1,34 @@
+// Package serve is the HTTP serving layer over the koopmancrc v1 API:
+// Analyzer evaluation sessions and crchash checksum engines behind JSON
+// endpoints, built for the repeated, overlapping queries of a polynomial
+// registry or protocol-design service.
+//
+// # Endpoints
+//
+//	POST /v1/evaluate    HD-vs-length profile (add ?stream=1 for SSE progress)
+//	POST /v1/hd          exact Hamming distance at one data-word length
+//	POST /v1/maxlen      largest length keeping a target HD
+//	POST /v1/select      rank candidate polynomials for a message length
+//	POST /v1/checksum    CRC of a payload under a catalogued algorithm
+//	GET  /v1/algorithms  catalogued algorithm names
+//	GET  /healthz        liveness (always unauthenticated)
+//	GET  /metrics        request/pool counters, expvar-style JSON
+//
+// # Sessions, coalescing, cancellation
+//
+// Evaluation requests are served from a bounded LRU pool of per-
+// polynomial Analyzer sessions keyed by (polynomial, max_hd, limits), so
+// a repeat query for a hot polynomial answers from the session memo with
+// zero engine probes. Concurrent identical long evaluations are
+// singleflight-coalesced onto one engine run; the run's context is
+// detached from any single caller and cancelled only when every caller
+// has disconnected, which the engine's cancel hook turns into a prompt
+// abort of the scan loops.
+//
+// Per-request max_hd and limits are honoured but clamped by the server
+// Config; server-side timeouts bound each request's evaluation budget.
+//
+// The wire types in this package are shared with cmd/crceval's -json
+// output, so CLI results are byte-comparable with /v1/evaluate
+// responses.
+package serve

@@ -1,0 +1,82 @@
+package serve
+
+import (
+	"context"
+	"sync"
+)
+
+// flight is one in-progress coalesced call. Waiters are counted so the
+// underlying evaluation is cancelled exactly when the last interested
+// client has gone, not when any single one disconnects.
+type flight struct {
+	done    chan struct{}
+	val     any
+	err     error
+	waiters int
+	cancel  context.CancelFunc
+}
+
+// flightGroup coalesces concurrent calls that share a key — the
+// singleflight pattern, with two twists the serving layer needs: the
+// work runs on a context detached from any individual caller (derived
+// from base, cancelled when the waiter count reaches zero), and a caller
+// whose own context dies detaches without disturbing the others.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flight
+}
+
+// do returns the result of fn for key, running fn at most once among
+// concurrent callers. onJoin (optional) fires the moment this call
+// attaches to an already-running flight — at attach, not completion, so
+// the /metrics coalescing counter is observable while the flight is
+// still airborne. fn's context is cancelled when every caller has gone
+// or base is done.
+func (g *flightGroup) do(ctx, base context.Context, key string, onJoin func(), fn func(context.Context) (any, error)) (val any, err error) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = make(map[string]*flight)
+	}
+	f, ok := g.m[key]
+	if ok {
+		f.waiters++
+		if onJoin != nil {
+			onJoin()
+		}
+	} else {
+		fctx, cancel := context.WithCancel(base)
+		f = &flight{done: make(chan struct{}), waiters: 1, cancel: cancel}
+		g.m[key] = f
+		go func() {
+			v, err := fn(fctx)
+			g.mu.Lock()
+			f.val, f.err = v, err
+			if g.m[key] == f {
+				delete(g.m, key)
+			}
+			g.mu.Unlock()
+			cancel()
+			close(f.done)
+		}()
+	}
+	g.mu.Unlock()
+
+	select {
+	case <-f.done:
+		return f.val, f.err
+	case <-ctx.Done():
+		g.mu.Lock()
+		f.waiters--
+		last := f.waiters == 0
+		if last && g.m[key] == f {
+			// Forget the flight so a later identical request starts
+			// fresh instead of inheriting a cancelled run.
+			delete(g.m, key)
+		}
+		g.mu.Unlock()
+		if last {
+			f.cancel()
+		}
+		return nil, ctx.Err()
+	}
+}

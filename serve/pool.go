@@ -1,0 +1,181 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+
+	"koopmancrc"
+)
+
+// sessionKey identifies an Analyzer session in the pool. Sessions are
+// keyed by the full configuration that shapes their memo — polynomial,
+// classification depth and engine limits — so a request only ever reuses
+// knowledge computed under its own budget.
+type sessionKey struct {
+	width   int
+	koopman uint64
+	maxHD   int
+	limits  koopmancrc.Limits
+}
+
+// session is one pooled Analyzer plus the progress fan-out that lets any
+// number of streaming requests watch its scans. The Analyzer itself
+// serializes evaluations; the session only adds subscriber plumbing.
+type session struct {
+	poly koopmancrc.Polynomial
+	an   *koopmancrc.Analyzer
+
+	mu   sync.Mutex
+	subs map[int]chan koopmancrc.Progress
+	next int
+}
+
+func newSession(p koopmancrc.Polynomial, maxHD int, limits koopmancrc.Limits) *session {
+	s := &session{poly: p, subs: make(map[int]chan koopmancrc.Progress)}
+	s.an = koopmancrc.NewAnalyzer(p,
+		koopmancrc.WithMaxHD(maxHD),
+		koopmancrc.WithLimits(limits),
+		koopmancrc.WithProgress(s.dispatch),
+	)
+	return s
+}
+
+// dispatch fans a progress tick out to every subscriber. It runs on the
+// evaluating goroutine under the engine's "must not block" contract, so
+// sends are non-blocking: a slow stream drops ticks rather than stalling
+// the scan.
+func (s *session) dispatch(p koopmancrc.Progress) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, ch := range s.subs {
+		select {
+		case ch <- p:
+		default:
+		}
+	}
+}
+
+// subscribe registers a progress channel with the given buffer and
+// returns its id for unsubscribe.
+func (s *session) subscribe(buf int) (int, <-chan koopmancrc.Progress) {
+	ch := make(chan koopmancrc.Progress, buf)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id := s.next
+	s.next++
+	s.subs[id] = ch
+	return id, ch
+}
+
+func (s *session) unsubscribe(id int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.subs, id)
+}
+
+// poolEntry pairs a key with its session inside the LRU list.
+type poolEntry struct {
+	key  sessionKey
+	sess *session
+}
+
+// pool is a bounded LRU of Analyzer sessions. An evicted session is not
+// torn down — requests already holding it simply finish and let it be
+// collected — the pool just stops handing it to new requests.
+type pool struct {
+	mu        sync.Mutex
+	cap       int
+	order     *list.List // of *poolEntry; front = most recently used
+	byKey     map[sessionKey]*list.Element
+	hits      int64
+	misses    int64
+	evictions int64
+}
+
+func newPool(capacity int) *pool {
+	return &pool{
+		cap:   capacity,
+		order: list.New(),
+		byKey: make(map[sessionKey]*list.Element),
+	}
+}
+
+// get returns the session for the key, creating (and, at capacity,
+// evicting the least recently used) as needed. hit reports whether the
+// session already existed — a warm session answers repeat queries from
+// its memo with zero engine probes.
+func (p *pool) get(poly koopmancrc.Polynomial, maxHD int, limits koopmancrc.Limits) (sess *session, hit bool) {
+	key := sessionKey{width: poly.Width(), koopman: poly.Koopman(), maxHD: maxHD, limits: limits}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if el, ok := p.byKey[key]; ok {
+		p.order.MoveToFront(el)
+		p.hits++
+		return el.Value.(*poolEntry).sess, true
+	}
+	p.misses++
+	for p.order.Len() >= p.cap {
+		back := p.order.Back()
+		p.order.Remove(back)
+		delete(p.byKey, back.Value.(*poolEntry).key)
+		p.evictions++
+	}
+	sess = newSession(poly, maxHD, limits)
+	p.byKey[key] = p.order.PushFront(&poolEntry{key: key, sess: sess})
+	return sess, false
+}
+
+// PoolStats aggregates the pool's live state for /metrics.
+type PoolStats struct {
+	Capacity    int           `json:"capacity"`
+	Sessions    int           `json:"sessions"`
+	Hits        int64         `json:"hits"`
+	Misses      int64         `json:"misses"`
+	Evictions   int64         `json:"evictions"`
+	Probes      int64         `json:"probes"`       // engine probes across live sessions
+	MemoEntries int           `json:"memo_entries"` // boundary + weight memo entries across live sessions
+	Detail      []SessionInfo `json:"sessions_detail"`
+}
+
+// SessionInfo reports one live session's identity and memoized cost, the
+// per-session view the eviction policy and capacity planning read.
+type SessionInfo struct {
+	Poly            string `json:"poly"`
+	Width           int    `json:"width"`
+	MaxHD           int    `json:"max_hd"`
+	BoundWeights    int    `json:"bound_weights"`
+	ExactBoundaries int    `json:"exact_boundaries"`
+	WeightEntries   int    `json:"weight_entries"`
+	Probes          int64  `json:"probes"`
+}
+
+// stats snapshots the pool, most recently used session first. Session
+// memo numbers come from Analyzer.MemoStats, which never waits behind an
+// in-flight evaluation.
+func (p *pool) stats() PoolStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st := PoolStats{
+		Capacity:  p.cap,
+		Sessions:  p.order.Len(),
+		Hits:      p.hits,
+		Misses:    p.misses,
+		Evictions: p.evictions,
+	}
+	for el := p.order.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*poolEntry)
+		m := e.sess.an.MemoStats()
+		st.Probes += m.Probes
+		st.MemoEntries += m.BoundWeights + m.WeightEntries
+		st.Detail = append(st.Detail, SessionInfo{
+			Poly:            hexStr(e.sess.poly.In(koopmancrc.Koopman)),
+			Width:           e.key.width,
+			MaxHD:           e.key.maxHD,
+			BoundWeights:    m.BoundWeights,
+			ExactBoundaries: m.ExactBoundaries,
+			WeightEntries:   m.WeightEntries,
+			Probes:          m.Probes,
+		})
+	}
+	return st
+}

@@ -1,0 +1,641 @@
+package serve
+
+import (
+	"context"
+	"crypto/sha256"
+	"crypto/subtle"
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"koopmancrc"
+	"koopmancrc/crchash"
+)
+
+// Config tunes a Server. The zero value serves with sensible defaults
+// and no authentication.
+type Config struct {
+	// PoolSize caps the number of live Analyzer sessions; beyond it the
+	// least recently used session is evicted (default 64).
+	PoolSize int
+	// MaxLenCap clamps per-request max_len and horizon (default 2^20).
+	MaxLenCap int
+	// MaxHDCap clamps per-request max_hd (default koopmancrc.DefaultMaxHD).
+	MaxHDCap int
+	// DefaultMaxHD is used when a request omits max_hd (default MaxHDCap).
+	DefaultMaxHD int
+	// MaxCandidates caps /v1/select candidate lists (default 64).
+	MaxCandidates int
+	// MaxWeightLens caps the exact-weight lengths of one evaluate
+	// request (default 8).
+	MaxWeightLens int
+	// MaxBodyBytes caps request bodies (default 1 MiB).
+	MaxBodyBytes int64
+	// Timeout bounds each request's evaluation, streaming included
+	// (0 = no server-side deadline).
+	Timeout time.Duration
+	// Token, when non-empty, requires "Authorization: Bearer <Token>" on
+	// every endpoint except /healthz. Comparison is constant-time.
+	Token string
+	// Limits are ceilings for per-request engine budgets: a request may
+	// lower a budget below the ceiling but never raise it. Zero fields
+	// leave the engine defaults as the only bound.
+	Limits koopmancrc.Limits
+}
+
+func (c Config) withDefaults() Config {
+	if c.PoolSize <= 0 {
+		c.PoolSize = 64
+	}
+	if c.MaxLenCap <= 0 {
+		c.MaxLenCap = 1 << 20
+	}
+	if c.MaxHDCap <= 0 {
+		c.MaxHDCap = koopmancrc.DefaultMaxHD
+	}
+	if c.DefaultMaxHD <= 0 || c.DefaultMaxHD > c.MaxHDCap {
+		c.DefaultMaxHD = c.MaxHDCap
+	}
+	if c.MaxCandidates <= 0 {
+		c.MaxCandidates = 64
+	}
+	if c.MaxWeightLens <= 0 {
+		c.MaxWeightLens = 8
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	return c
+}
+
+// metrics are the server's counters, expvar types kept unpublished so
+// multiple Servers can coexist in one process; /metrics renders them.
+type metrics struct {
+	requests  *expvar.Map // per-endpoint request counts
+	errors    *expvar.Map // per-endpoint non-2xx counts
+	flights   expvar.Int  // evaluations actually started on an engine
+	coalesced expvar.Int  // requests that joined an in-flight identical evaluation
+	canceled  expvar.Int  // evaluations aborted via the engine's cancel hook
+	streams   expvar.Int  // SSE streams served
+}
+
+func newMetrics() *metrics {
+	return &metrics{
+		requests: new(expvar.Map).Init(),
+		errors:   new(expvar.Map).Init(),
+	}
+}
+
+// Server is the HTTP serving layer: JSON endpoints over a bounded LRU
+// pool of Analyzer sessions with singleflight coalescing of identical
+// evaluations. Create one with New; it implements http.Handler.
+type Server struct {
+	cfg     Config
+	pool    *pool
+	flights flightGroup
+	metrics *metrics
+	mux     *http.ServeMux
+
+	// base parents every coalesced evaluation; Close cancels it so
+	// shutdown aborts in-flight engine scans promptly.
+	base   context.Context
+	cancel context.CancelFunc
+}
+
+// New returns a Server for the configuration. Call Close during shutdown
+// to cancel in-flight evaluations.
+func New(cfg Config) *Server {
+	base, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:     cfg.withDefaults(),
+		metrics: newMetrics(),
+		mux:     http.NewServeMux(),
+		base:    base,
+		cancel:  cancel,
+	}
+	s.pool = newPool(s.cfg.PoolSize)
+	s.mux.HandleFunc("POST /v1/evaluate", s.handleEvaluate)
+	s.mux.HandleFunc("POST /v1/hd", s.handleHD)
+	s.mux.HandleFunc("POST /v1/maxlen", s.handleMaxLen)
+	s.mux.HandleFunc("POST /v1/select", s.handleSelect)
+	s.mux.HandleFunc("POST /v1/checksum", s.handleChecksum)
+	s.mux.HandleFunc("GET /v1/algorithms", s.handleAlgorithms)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+// Close cancels every in-flight evaluation. The Server keeps answering
+// cheap requests (healthz, checksum) afterwards; pair it with
+// http.Server.Shutdown for a full graceful stop.
+func (s *Server) Close() { s.cancel() }
+
+// tokenEqual compares bearer tokens in constant time, hashing first so
+// even the length is not leaked through timing.
+func tokenEqual(got, want string) bool {
+	hg, hw := sha256.Sum256([]byte(got)), sha256.Sum256([]byte(want))
+	return subtle.ConstantTimeCompare(hg[:], hw[:]) == 1
+}
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Token != "" && r.URL.Path != "/healthz" {
+		got, ok := strings.CutPrefix(r.Header.Get("Authorization"), "Bearer ")
+		if !ok || !tokenEqual(got, s.cfg.Token) {
+			w.Header().Set("WWW-Authenticate", `Bearer realm="crcserve"`)
+			// Fixed counter key: keying by request path would let
+			// unauthenticated scanners grow the errors map unboundedly.
+			s.writeError(w, "auth", http.StatusUnauthorized, errors.New("missing or invalid bearer token"))
+			return
+		}
+	}
+	s.mux.ServeHTTP(w, r)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) writeError(w http.ResponseWriter, endpoint string, status int, err error) {
+	s.metrics.errors.Add(endpoint, 1)
+	writeJSON(w, status, ErrorResponse{Error: err.Error()})
+}
+
+// statusFor maps evaluation errors onto HTTP statuses.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, koopmancrc.ErrBudgetExceeded):
+		return http.StatusUnprocessableEntity
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		// Client is gone (or the server is shutting down); the status is
+		// for the error counter more than for anyone still listening.
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// decode reads a JSON request body, bounded and strict about unknown
+// fields so typos fail loudly instead of silently using defaults.
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("bad request body: %w", err)
+	}
+	return nil
+}
+
+// clampLimits resolves a request's engine budgets against the server
+// ceilings: zero request fields inherit the ceiling, non-zero ones are
+// capped by it.
+func (s *Server) clampLimits(l *Limits) koopmancrc.Limits {
+	var out koopmancrc.Limits
+	if l != nil {
+		out = koopmancrc.Limits{MaxProbes: l.MaxProbes, MaxStoreEntries: l.MaxStoreEntries, MaxPairBuffer: l.MaxPairBuffer}
+	}
+	ceil := s.cfg.Limits
+	if ceil.MaxProbes > 0 && (out.MaxProbes <= 0 || out.MaxProbes > ceil.MaxProbes) {
+		out.MaxProbes = ceil.MaxProbes
+	}
+	if ceil.MaxStoreEntries > 0 && (out.MaxStoreEntries <= 0 || out.MaxStoreEntries > ceil.MaxStoreEntries) {
+		out.MaxStoreEntries = ceil.MaxStoreEntries
+	}
+	if ceil.MaxPairBuffer > 0 && (out.MaxPairBuffer <= 0 || out.MaxPairBuffer > ceil.MaxPairBuffer) {
+		out.MaxPairBuffer = ceil.MaxPairBuffer
+	}
+	return out
+}
+
+// clampMaxHD applies the default and ceiling to a request max_hd.
+func (s *Server) clampMaxHD(hd int) (int, error) {
+	if hd == 0 {
+		return s.cfg.DefaultMaxHD, nil
+	}
+	if hd < 2 {
+		return 0, fmt.Errorf("max_hd %d: need at least 2", hd)
+	}
+	return min(hd, s.cfg.MaxHDCap), nil
+}
+
+// clampLen applies the ceiling to a request length/horizon.
+func (s *Server) clampLen(name string, n int) (int, error) {
+	if n < 1 {
+		return 0, fmt.Errorf("%s %d: need at least 1", name, n)
+	}
+	return min(n, s.cfg.MaxLenCap), nil
+}
+
+// requestCtx derives the evaluation context: the client's (so a
+// disconnect detaches the request) bounded by the server timeout.
+func (s *Server) requestCtx(r *http.Request) (context.Context, context.CancelFunc) {
+	if s.cfg.Timeout > 0 {
+		return context.WithTimeout(r.Context(), s.cfg.Timeout)
+	}
+	return context.WithCancel(r.Context())
+}
+
+// evaluation runs fn through the singleflight group, counting flights,
+// coalesced joins and engine-level cancellations.
+func (s *Server) evaluation(ctx context.Context, key string, fn func(context.Context) (any, error)) (any, error) {
+	onJoin := func() { s.metrics.coalesced.Add(1) }
+	return s.flights.do(ctx, s.base, key, onJoin, func(fctx context.Context) (any, error) {
+		s.metrics.flights.Add(1)
+		v, err := fn(fctx)
+		if err != nil && errors.Is(err, context.Canceled) {
+			s.metrics.canceled.Add(1)
+		}
+		return v, err
+	})
+}
+
+func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
+	const ep = "/v1/evaluate"
+	s.metrics.requests.Add(ep, 1)
+	var req EvaluateRequest
+	if err := s.decode(w, r, &req); err != nil {
+		s.writeError(w, ep, http.StatusBadRequest, err)
+		return
+	}
+	p, err := req.Polynomial()
+	if err != nil {
+		s.writeError(w, ep, http.StatusBadRequest, err)
+		return
+	}
+	maxHD, err := s.clampMaxHD(req.MaxHD)
+	if err != nil {
+		s.writeError(w, ep, http.StatusBadRequest, err)
+		return
+	}
+	maxLen, err := s.clampLen("max_len", req.MaxLen)
+	if err != nil {
+		s.writeError(w, ep, http.StatusBadRequest, err)
+		return
+	}
+	if len(req.Weights) > s.cfg.MaxWeightLens {
+		s.writeError(w, ep, http.StatusBadRequest,
+			fmt.Errorf("weights: %d lengths exceed the cap of %d", len(req.Weights), s.cfg.MaxWeightLens))
+		return
+	}
+	for _, l := range req.Weights {
+		if l < 1 {
+			s.writeError(w, ep, http.StatusBadRequest, fmt.Errorf("weights: invalid length %d", l))
+			return
+		}
+	}
+	limits := s.clampLimits(req.Limits)
+	sess, _ := s.pool.get(p, maxHD, limits)
+	key := fmt.Sprintf("evaluate|%d|%#x|hd=%d|len=%d|lim=%+v|w=%v",
+		p.Width(), p.Koopman(), maxHD, maxLen, limits, req.Weights)
+	run := func(fctx context.Context) (any, error) {
+		rep, err := sess.an.Evaluate(fctx, maxLen)
+		if err != nil {
+			return nil, err
+		}
+		wcs, err := WeightCounts(fctx, sess.an, req.Weights)
+		if err != nil {
+			return nil, err
+		}
+		return NewEvaluateResponse(rep, maxHD, wcs), nil
+	}
+
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
+	if isStream(r) {
+		s.streamEvaluate(w, ctx, sess, key, run)
+		return
+	}
+	v, err := s.evaluation(ctx, key, run)
+	if err != nil {
+		s.writeError(w, ep, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, v)
+}
+
+// isStream reports whether the request asked for SSE progress.
+func isStream(r *http.Request) bool {
+	switch r.URL.Query().Get("stream") {
+	case "", "0", "false":
+		return false
+	}
+	return true
+}
+
+// writeSSE emits one server-sent event with a JSON payload.
+func writeSSE(w http.ResponseWriter, event string, v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return
+	}
+	fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data)
+}
+
+// streamEvaluate serves ?stream=1: progress ticks from the session's
+// fan-out as SSE events, then the final result (or error) event. The
+// evaluation itself still goes through the singleflight group, so many
+// streaming clients can watch one engine run.
+func (s *Server) streamEvaluate(w http.ResponseWriter, ctx context.Context, sess *session, key string, run func(context.Context) (any, error)) {
+	const ep = "/v1/evaluate"
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		s.writeError(w, ep, http.StatusInternalServerError, errors.New("streaming unsupported by connection"))
+		return
+	}
+	s.metrics.streams.Add(1)
+	id, ticks := sess.subscribe(64)
+	defer sess.unsubscribe(id)
+
+	type outcome struct {
+		v   any
+		err error
+	}
+	resCh := make(chan outcome, 1)
+	go func() {
+		v, err := s.evaluation(ctx, key, run)
+		resCh <- outcome{v, err}
+	}()
+
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+
+	for {
+		select {
+		case p := <-ticks:
+			writeSSE(w, "progress", ProgressEvent{
+				Poly: hexStr(p.Poly.In(koopmancrc.Koopman)), Weight: p.Weight, DataLen: p.DataLen, Probes: p.Probes,
+			})
+			fl.Flush()
+		case res := <-resCh:
+			// Drain ticks queued before completion so every progress
+			// event precedes the result deterministically.
+			for {
+				select {
+				case p := <-ticks:
+					writeSSE(w, "progress", ProgressEvent{
+						Poly: hexStr(p.Poly.In(koopmancrc.Koopman)), Weight: p.Weight, DataLen: p.DataLen, Probes: p.Probes,
+					})
+					continue
+				default:
+				}
+				break
+			}
+			if res.err != nil {
+				s.metrics.errors.Add(ep, 1)
+				writeSSE(w, "error", ErrorResponse{Error: res.err.Error()})
+			} else {
+				writeSSE(w, "result", res.v)
+			}
+			fl.Flush()
+			return
+		case <-ctx.Done():
+			// Client gone or server deadline; the evaluation goroutine
+			// detaches from the flight on the same signal, promptly. A
+			// timed-out-but-connected client still deserves the error
+			// event (writes to a gone client fail harmlessly).
+			res := <-resCh
+			if res.err != nil {
+				s.metrics.errors.Add(ep, 1)
+				writeSSE(w, "error", ErrorResponse{Error: res.err.Error()})
+			} else {
+				writeSSE(w, "result", res.v)
+			}
+			fl.Flush()
+			return
+		}
+	}
+}
+
+func (s *Server) handleHD(w http.ResponseWriter, r *http.Request) {
+	const ep = "/v1/hd"
+	s.metrics.requests.Add(ep, 1)
+	var req HDRequest
+	if err := s.decode(w, r, &req); err != nil {
+		s.writeError(w, ep, http.StatusBadRequest, err)
+		return
+	}
+	p, err := req.Polynomial()
+	if err != nil {
+		s.writeError(w, ep, http.StatusBadRequest, err)
+		return
+	}
+	maxHD, err := s.clampMaxHD(req.MaxHD)
+	if err != nil {
+		s.writeError(w, ep, http.StatusBadRequest, err)
+		return
+	}
+	dataLen, err := s.clampLen("data_len", req.DataLen)
+	if err != nil {
+		s.writeError(w, ep, http.StatusBadRequest, err)
+		return
+	}
+	limits := s.clampLimits(req.Limits)
+	sess, _ := s.pool.get(p, maxHD, limits)
+	key := fmt.Sprintf("hd|%d|%#x|hd=%d|len=%d|lim=%+v", p.Width(), p.Koopman(), maxHD, dataLen, limits)
+
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
+	v, err := s.evaluation(ctx, key, func(fctx context.Context) (any, error) {
+		hd, exact, err := sess.an.HDAt(fctx, dataLen)
+		if err != nil {
+			return nil, err
+		}
+		return &HDResponse{
+			Poly: hexStr(p.In(koopmancrc.Koopman)), DataLen: dataLen, HD: hd, Exact: exact,
+		}, nil
+	})
+	if err != nil {
+		s.writeError(w, ep, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, v)
+}
+
+func (s *Server) handleMaxLen(w http.ResponseWriter, r *http.Request) {
+	const ep = "/v1/maxlen"
+	s.metrics.requests.Add(ep, 1)
+	var req MaxLenRequest
+	if err := s.decode(w, r, &req); err != nil {
+		s.writeError(w, ep, http.StatusBadRequest, err)
+		return
+	}
+	p, err := req.Polynomial()
+	if err != nil {
+		s.writeError(w, ep, http.StatusBadRequest, err)
+		return
+	}
+	if req.HD < 2 {
+		s.writeError(w, ep, http.StatusBadRequest, fmt.Errorf("hd %d: need at least 2", req.HD))
+		return
+	}
+	horizon, err := s.clampLen("horizon", req.Horizon)
+	if err != nil {
+		s.writeError(w, ep, http.StatusBadRequest, err)
+		return
+	}
+	// The session must classify up to hd-1 to answer; derive its depth
+	// from the question rather than the default.
+	maxHD := min(max(req.HD, s.cfg.DefaultMaxHD), s.cfg.MaxHDCap)
+	if req.HD-1 > s.cfg.MaxHDCap {
+		s.writeError(w, ep, http.StatusBadRequest,
+			fmt.Errorf("hd %d exceeds the server's classification cap of %d", req.HD, s.cfg.MaxHDCap))
+		return
+	}
+	limits := s.clampLimits(req.Limits)
+	sess, _ := s.pool.get(p, maxHD, limits)
+	key := fmt.Sprintf("maxlen|%d|%#x|hd=%d|hor=%d|shd=%d|lim=%+v", p.Width(), p.Koopman(), req.HD, horizon, maxHD, limits)
+
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
+	v, err := s.evaluation(ctx, key, func(fctx context.Context) (any, error) {
+		maxLen, ok, err := sess.an.MaxLenAtHD(fctx, req.HD, horizon)
+		if err != nil {
+			return nil, err
+		}
+		return &MaxLenResponse{
+			Poly: hexStr(p.In(koopmancrc.Koopman)), HD: req.HD, Horizon: horizon, MaxLen: maxLen, OK: ok,
+		}, nil
+	})
+	if err != nil {
+		s.writeError(w, ep, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, v)
+}
+
+func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
+	const ep = "/v1/select"
+	s.metrics.requests.Add(ep, 1)
+	var req SelectRequest
+	if err := s.decode(w, r, &req); err != nil {
+		s.writeError(w, ep, http.StatusBadRequest, err)
+		return
+	}
+	if len(req.Candidates) == 0 {
+		s.writeError(w, ep, http.StatusBadRequest, errors.New("no candidates"))
+		return
+	}
+	if len(req.Candidates) > s.cfg.MaxCandidates {
+		s.writeError(w, ep, http.StatusBadRequest,
+			fmt.Errorf("%d candidates exceed the cap of %d", len(req.Candidates), s.cfg.MaxCandidates))
+		return
+	}
+	maxHD, err := s.clampMaxHD(req.MaxHD)
+	if err != nil {
+		s.writeError(w, ep, http.StatusBadRequest, err)
+		return
+	}
+	dataLen, err := s.clampLen("data_len", req.DataLen)
+	if err != nil {
+		s.writeError(w, ep, http.StatusBadRequest, err)
+		return
+	}
+	limits := s.clampLimits(req.Limits)
+	analyzers := make([]*koopmancrc.Analyzer, len(req.Candidates))
+	keys := make([]string, len(req.Candidates))
+	for i, ref := range req.Candidates {
+		p, err := ref.Polynomial()
+		if err != nil {
+			s.writeError(w, ep, http.StatusBadRequest, fmt.Errorf("candidate %d: %w", i, err))
+			return
+		}
+		sess, _ := s.pool.get(p, maxHD, limits)
+		analyzers[i] = sess.an
+		keys[i] = fmt.Sprintf("%d:%#x", p.Width(), p.Koopman())
+	}
+	key := fmt.Sprintf("select|%s|hd=%d|len=%d|lim=%+v", strings.Join(keys, ","), maxHD, dataLen, limits)
+
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
+	v, err := s.evaluation(ctx, key, func(fctx context.Context) (any, error) {
+		ranked, err := koopmancrc.SelectAnalyzers(fctx, analyzers, dataLen, koopmancrc.WithMaxHD(maxHD))
+		if err != nil {
+			return nil, err
+		}
+		resp := &SelectResponse{DataLen: dataLen}
+		for _, sel := range ranked {
+			resp.Ranking = append(resp.Ranking, Selection{
+				Poly:         hexStr(sel.Poly.In(koopmancrc.Koopman)),
+				Width:        sel.Poly.Width(),
+				HD:           sel.HD,
+				CoverageAtHD: sel.CoverageAtHD,
+			})
+		}
+		return resp, nil
+	})
+	if err != nil {
+		s.writeError(w, ep, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, v)
+}
+
+func (s *Server) handleChecksum(w http.ResponseWriter, r *http.Request) {
+	const ep = "/v1/checksum"
+	s.metrics.requests.Add(ep, 1)
+	var req ChecksumRequest
+	if err := s.decode(w, r, &req); err != nil {
+		s.writeError(w, ep, http.StatusBadRequest, err)
+		return
+	}
+	if req.Algorithm == "" {
+		s.writeError(w, ep, http.StatusBadRequest, errors.New("missing algorithm"))
+		return
+	}
+	params, err := crchash.Lookup(req.Algorithm)
+	if err != nil {
+		s.writeError(w, ep, http.StatusNotFound, err)
+		return
+	}
+	data := req.Data
+	if len(data) == 0 && req.Text != "" {
+		data = []byte(req.Text)
+	}
+	sum, err := crchash.Checksum(req.Algorithm, data)
+	if err != nil {
+		s.writeError(w, ep, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, &ChecksumResponse{
+		Algorithm: req.Algorithm,
+		Length:    len(data),
+		Checksum:  sum,
+		Hex:       fmt.Sprintf("0x%0*x", (params.Poly.Width()+3)/4, sum),
+	})
+}
+
+func (s *Server) handleAlgorithms(w http.ResponseWriter, r *http.Request) {
+	const ep = "/v1/algorithms"
+	s.metrics.requests.Add(ep, 1)
+	writeJSON(w, http.StatusOK, &AlgorithmsResponse{Algorithms: crchash.Algorithms()})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleMetrics renders the expvar counters and the session pool's
+// per-session memo costs as one JSON document.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	out := map[string]any{
+		"requests":  json.RawMessage(s.metrics.requests.String()),
+		"errors":    json.RawMessage(s.metrics.errors.String()),
+		"flights":   json.RawMessage(s.metrics.flights.String()),
+		"coalesced": json.RawMessage(s.metrics.coalesced.String()),
+		"canceled":  json.RawMessage(s.metrics.canceled.String()),
+		"streams":   json.RawMessage(s.metrics.streams.String()),
+		"pool":      s.pool.stats(),
+	}
+	writeJSON(w, http.StatusOK, out)
+}
