@@ -377,6 +377,29 @@ func TestInvalidArguments(t *testing.T) {
 	}
 }
 
+// TestWeightScanCancelAndBudget: the exact W2/W3 scans honour the cancel
+// hook and the probe budget like every other engine loop.
+func TestWeightScanCancelAndBudget(t *testing.T) {
+	p, err := poly.FromFull(0x1D)
+	if err != nil {
+		t.Fatal(err)
+	}
+	canceled := New(p, WithCancel(func() bool { return true }))
+	for w := 2; w <= 3; w++ {
+		if _, err := canceled.Weight(w, 10); !errors.Is(err, ErrCanceled) {
+			t.Errorf("Weight(%d, 10) with cancel hook: %v, want ErrCanceled", w, err)
+		}
+	}
+	tight := New(p, WithMaxProbes(1))
+	for w := 2; w <= 3; w++ {
+		// Data length 12 (codeword 16, period 7): W2 needs 2 scan steps,
+		// W3 needs 16 — both beyond a 1-probe budget.
+		if _, err := tight.Weight(w, 12); !errors.Is(err, ErrBudgetExceeded) {
+			t.Errorf("Weight(%d, 12) with 1-probe budget: %v, want ErrBudgetExceeded", w, err)
+		}
+	}
+}
+
 func TestSmallPeriodWeight2(t *testing.T) {
 	// (x+1)(x^3+x+1) has period 7: first 2-bit failure spans {0,7}, i.e.
 	// codeword length 8, data length 4 for this width-4 generator.

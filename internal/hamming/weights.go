@@ -33,9 +33,20 @@ func (e *Evaluator) weight2(dataLen int) (uint64, error) {
 		return 0, err
 	}
 	n := uint64(e.codewordLen(dataLen))
+	if steps := (n - 1) / period; steps > uint64(e.opts.MaxProbes) {
+		return 0, fmt.Errorf("%w: exact W2 at %d codeword bits needs %d scan steps (limit %d)",
+			ErrBudgetExceeded, n, steps, e.opts.MaxProbes)
+	}
+	if err := e.begin(2, dataLen); err != nil {
+		return 0, err
+	}
 	var total uint64
 	for k := uint64(1); k*period <= n-1; k++ {
 		total += n - k*period
+		e.Stats.Probes++
+		if err := e.tick(2, dataLen, 1); err != nil {
+			return 0, err
+		}
 	}
 	return total, nil
 }
@@ -44,15 +55,27 @@ func (e *Evaluator) weight2(dataLen int) (uint64, error) {
 // {0, a, c} (bit 0 set) and crediting each with its N-c translates.
 func (e *Evaluator) weight3(dataLen int) (uint64, error) {
 	n := e.codewordLen(dataLen)
+	if int64(n-1) > e.opts.MaxProbes {
+		return 0, fmt.Errorf("%w: exact W3 at %d codeword bits needs %d scan steps (limit %d)",
+			ErrBudgetExceeded, n, n-1, e.opts.MaxProbes)
+	}
+	if err := e.begin(3, dataLen); err != nil {
+		return 0, err
+	}
 	syn := e.syndromes(n)
 	counts := newU32Count(n)
 	var total uint64
 	for c := 1; c < n; c++ {
+		e.Stats.Probes++
+		if err := e.tick(3, dataLen, 1); err != nil {
+			return 0, err
+		}
 		if m := counts.count(syn[c]); m > 0 {
 			total += uint64(m) * uint64(n-c)
 		}
 		counts.add(1 ^ syn[c])
 	}
+	e.Stats.StoreOps += int64(n - 1)
 	return total, nil
 }
 

@@ -145,6 +145,11 @@ func (c *Client) EvaluateStream(ctx context.Context, req serve.EvaluateRequest, 
 		case strings.HasPrefix(line, "event:"):
 			event = strings.TrimSpace(strings.TrimPrefix(line, "event:"))
 		case strings.HasPrefix(line, "data:"):
+			// Successive data: lines of one event join with a newline
+			// (the SSE spec's concatenation rule).
+			if payload.Len() > 0 {
+				payload.WriteByte('\n')
+			}
 			payload.WriteString(strings.TrimSpace(strings.TrimPrefix(line, "data:")))
 		case line == "":
 			switch event {

@@ -5,7 +5,10 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"io"
+	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
 
 	"koopmancrc/serve"
@@ -101,6 +104,40 @@ func TestClientEndToEnd(t *testing.T) {
 	}
 	if len(algs) == 0 {
 		t.Fatal("no algorithms")
+	}
+}
+
+// TestEvaluateStreamMultiLineData: successive data: lines of one SSE
+// event join with a newline per the spec, so a multi-line JSON payload
+// parses intact — and lines that would silently merge into a different
+// number under plain concatenation surface as a parse error instead.
+func TestEvaluateStreamMultiLineData(t *testing.T) {
+	ctx := context.Background()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/event-stream")
+		io.WriteString(w, "event: progress\ndata: {\ndata:   \"weight\": 3\ndata: }\n\n")
+		io.WriteString(w, "event: result\ndata: {\ndata:   \"poly\": \"0x83\",\ndata:   \"width\": 8\ndata: }\n\n")
+	}))
+	defer ts.Close()
+	var progress []serve.ProgressEvent
+	out, err := New(ts.URL).EvaluateStream(ctx, smallEval, func(p serve.ProgressEvent) { progress = append(progress, p) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Poly != "0x83" || out.Width != 8 {
+		t.Fatalf("multi-line result: %+v", out)
+	}
+	if len(progress) != 1 || progress[0].Weight != 3 {
+		t.Fatalf("multi-line progress: %+v", progress)
+	}
+
+	corrupt := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/event-stream")
+		io.WriteString(w, "event: result\ndata: {\"max_len\": 12\ndata: 3}\n\n")
+	}))
+	defer corrupt.Close()
+	if _, err := New(corrupt.URL).EvaluateStream(ctx, smallEval, nil); err == nil || !strings.Contains(err.Error(), "bad result event") {
+		t.Fatalf("split-number payload: err = %v, want bad result event (not a silently merged 123)", err)
 	}
 }
 

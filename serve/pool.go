@@ -22,6 +22,10 @@ type sessionKey struct {
 // number of streaming requests watch its scans. The Analyzer itself
 // serializes evaluations; the session only adds subscriber plumbing.
 type session struct {
+	// id is unique per session instance (pool-assigned), so work keyed on
+	// it never coalesces across an eviction: a request that got a fresh
+	// session never joins a flight still running on the evicted one.
+	id   int64
 	poly koopmancrc.Polynomial
 	an   *koopmancrc.Analyzer
 
@@ -85,6 +89,7 @@ type poolEntry struct {
 type pool struct {
 	mu        sync.Mutex
 	cap       int
+	seq       int64      // session id generator
 	order     *list.List // of *poolEntry; front = most recently used
 	byKey     map[sessionKey]*list.Element
 	hits      int64
@@ -121,6 +126,8 @@ func (p *pool) get(poly koopmancrc.Polynomial, maxHD int, limits koopmancrc.Limi
 		p.evictions++
 	}
 	sess = newSession(poly, maxHD, limits)
+	p.seq++
+	sess.id = p.seq
 	p.byKey[key] = p.order.PushFront(&poolEntry{key: key, sess: sess})
 	return sess, false
 }

@@ -284,22 +284,28 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 			fmt.Errorf("weights: %d lengths exceed the cap of %d", len(req.Weights), s.cfg.MaxWeightLens))
 		return
 	}
-	for _, l := range req.Weights {
-		if l < 1 {
-			s.writeError(w, ep, http.StatusBadRequest, fmt.Errorf("weights: invalid length %d", l))
+	// Weight lengths are clamped like every other length knob: an entry
+	// beyond MaxLenCap would otherwise reach the engine's O(n) exact
+	// weight scans unbounded.
+	weights := make([]int, len(req.Weights))
+	for i, l := range req.Weights {
+		cl, err := s.clampLen("weights", l)
+		if err != nil {
+			s.writeError(w, ep, http.StatusBadRequest, err)
 			return
 		}
+		weights[i] = cl
 	}
 	limits := s.clampLimits(req.Limits)
 	sess, _ := s.pool.get(p, maxHD, limits)
-	key := fmt.Sprintf("evaluate|%d|%#x|hd=%d|len=%d|lim=%+v|w=%v",
-		p.Width(), p.Koopman(), maxHD, maxLen, limits, req.Weights)
+	key := fmt.Sprintf("evaluate|s%d|%d|%#x|hd=%d|len=%d|lim=%+v|w=%v",
+		sess.id, p.Width(), p.Koopman(), maxHD, maxLen, limits, weights)
 	run := func(fctx context.Context) (any, error) {
 		rep, err := sess.an.Evaluate(fctx, maxLen)
 		if err != nil {
 			return nil, err
 		}
-		wcs, err := WeightCounts(fctx, sess.an, req.Weights)
+		wcs, err := WeightCounts(fctx, sess.an, weights)
 		if err != nil {
 			return nil, err
 		}
@@ -341,7 +347,12 @@ func writeSSE(w http.ResponseWriter, event string, v any) {
 // streamEvaluate serves ?stream=1: progress ticks from the session's
 // fan-out as SSE events, then the final result (or error) event. The
 // evaluation itself still goes through the singleflight group, so many
-// streaming clients can watch one engine run.
+// streaming clients can watch one engine run. Ticks are session-scoped,
+// not flight-scoped: while this request waits its turn on the session's
+// Analyzer, ticks from another query on the same polynomial may arrive —
+// same poly, possibly different data_len — so progress consumers should
+// treat events as "the session is working", not as a percentage of this
+// request's max_len.
 func (s *Server) streamEvaluate(w http.ResponseWriter, ctx context.Context, sess *session, key string, run func(context.Context) (any, error)) {
 	const ep = "/v1/evaluate"
 	fl, ok := w.(http.Flusher)
@@ -370,48 +381,48 @@ func (s *Server) streamEvaluate(w http.ResponseWriter, ctx context.Context, sess
 	w.WriteHeader(http.StatusOK)
 	fl.Flush()
 
+	progress := func(p koopmancrc.Progress) {
+		writeSSE(w, "progress", ProgressEvent{
+			Poly: hexStr(p.Poly.In(koopmancrc.Koopman)), Weight: p.Weight, DataLen: p.DataLen, Probes: p.Probes,
+		})
+	}
+	// finish drains ticks queued before completion — so every progress
+	// event precedes the final event deterministically — then emits the
+	// result or error.
+	finish := func(res outcome) {
+		for {
+			select {
+			case p := <-ticks:
+				progress(p)
+				continue
+			default:
+			}
+			break
+		}
+		if res.err != nil {
+			s.metrics.errors.Add(ep, 1)
+			writeSSE(w, "error", ErrorResponse{Error: res.err.Error()})
+		} else {
+			writeSSE(w, "result", res.v)
+		}
+		fl.Flush()
+	}
+
 	for {
 		select {
 		case p := <-ticks:
-			writeSSE(w, "progress", ProgressEvent{
-				Poly: hexStr(p.Poly.In(koopmancrc.Koopman)), Weight: p.Weight, DataLen: p.DataLen, Probes: p.Probes,
-			})
+			progress(p)
 			fl.Flush()
 		case res := <-resCh:
-			// Drain ticks queued before completion so every progress
-			// event precedes the result deterministically.
-			for {
-				select {
-				case p := <-ticks:
-					writeSSE(w, "progress", ProgressEvent{
-						Poly: hexStr(p.Poly.In(koopmancrc.Koopman)), Weight: p.Weight, DataLen: p.DataLen, Probes: p.Probes,
-					})
-					continue
-				default:
-				}
-				break
-			}
-			if res.err != nil {
-				s.metrics.errors.Add(ep, 1)
-				writeSSE(w, "error", ErrorResponse{Error: res.err.Error()})
-			} else {
-				writeSSE(w, "result", res.v)
-			}
-			fl.Flush()
+			finish(res)
 			return
 		case <-ctx.Done():
 			// Client gone or server deadline; the evaluation goroutine
 			// detaches from the flight on the same signal, promptly. A
-			// timed-out-but-connected client still deserves the error
-			// event (writes to a gone client fail harmlessly).
-			res := <-resCh
-			if res.err != nil {
-				s.metrics.errors.Add(ep, 1)
-				writeSSE(w, "error", ErrorResponse{Error: res.err.Error()})
-			} else {
-				writeSSE(w, "result", res.v)
-			}
-			fl.Flush()
+			// timed-out-but-connected client still deserves the trailing
+			// progress and error events (writes to a gone client fail
+			// harmlessly).
+			finish(<-resCh)
 			return
 		}
 	}
@@ -442,7 +453,7 @@ func (s *Server) handleHD(w http.ResponseWriter, r *http.Request) {
 	}
 	limits := s.clampLimits(req.Limits)
 	sess, _ := s.pool.get(p, maxHD, limits)
-	key := fmt.Sprintf("hd|%d|%#x|hd=%d|len=%d|lim=%+v", p.Width(), p.Koopman(), maxHD, dataLen, limits)
+	key := fmt.Sprintf("hd|s%d|%d|%#x|hd=%d|len=%d|lim=%+v", sess.id, p.Width(), p.Koopman(), maxHD, dataLen, limits)
 
 	ctx, cancel := s.requestCtx(r)
 	defer cancel()
@@ -494,7 +505,7 @@ func (s *Server) handleMaxLen(w http.ResponseWriter, r *http.Request) {
 	}
 	limits := s.clampLimits(req.Limits)
 	sess, _ := s.pool.get(p, maxHD, limits)
-	key := fmt.Sprintf("maxlen|%d|%#x|hd=%d|hor=%d|shd=%d|lim=%+v", p.Width(), p.Koopman(), req.HD, horizon, maxHD, limits)
+	key := fmt.Sprintf("maxlen|s%d|%d|%#x|hd=%d|hor=%d|shd=%d|lim=%+v", sess.id, p.Width(), p.Koopman(), req.HD, horizon, maxHD, limits)
 
 	ctx, cancel := s.requestCtx(r)
 	defer cancel()
@@ -552,7 +563,7 @@ func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 		}
 		sess, _ := s.pool.get(p, maxHD, limits)
 		analyzers[i] = sess.an
-		keys[i] = fmt.Sprintf("%d:%#x", p.Width(), p.Koopman())
+		keys[i] = fmt.Sprintf("s%d:%d:%#x", sess.id, p.Width(), p.Koopman())
 	}
 	key := fmt.Sprintf("select|%s|hd=%d|len=%d|lim=%+v", strings.Join(keys, ","), maxHD, dataLen, limits)
 

@@ -351,6 +351,65 @@ func TestStreamedEvaluationMatchesPlain(t *testing.T) {
 	}
 }
 
+// TestEvaluateWeights covers the weights field end to end: in-cap lengths
+// get exact engine-checked counts, an over-cap length is clamped to
+// MaxLenCap instead of reaching the engine's O(n) weight scans unbounded,
+// and invalid or oversized lists are rejected.
+func TestEvaluateWeights(t *testing.T) {
+	_, ts := startServer(t, Config{MaxLenCap: 64})
+
+	req := smallEval
+	req.Weights = []int{16, 1 << 30} // second entry far beyond the cap
+	var resp EvaluateResponse
+	if code, body := postJSON(t, ts.URL+"/v1/evaluate", req, &resp); code != http.StatusOK {
+		t.Fatalf("evaluate with weights: %d %s", code, body)
+	}
+	if len(resp.Weights) != 2 || resp.Weights[0].Length != 16 || resp.Weights[1].Length != 64 {
+		t.Fatalf("weights lengths not clamped to MaxLenCap: %+v", resp.Weights)
+	}
+	p, err := koopmancrc.ParsePolynomial(8, koopmancrc.Koopman, "0x83")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, wc := range resp.Weights {
+		for w, got := range map[int]uint64{2: wc.W2, 3: wc.W3, 4: wc.W4} {
+			want, err := koopmancrc.UndetectableWeight(p, w, wc.Length)
+			if err != nil {
+				t.Fatalf("reference W%d at %d: %v", w, wc.Length, err)
+			}
+			if got != want {
+				t.Errorf("W%d at %d bits: got %d, want %d", w, wc.Length, got, want)
+			}
+		}
+	}
+
+	// The clamped entry answers identically to an explicit request at the
+	// cap itself.
+	capReq := smallEval
+	capReq.Weights = []int{64}
+	var capResp EvaluateResponse
+	if code, body := postJSON(t, ts.URL+"/v1/evaluate", capReq, &capResp); code != http.StatusOK {
+		t.Fatalf("evaluate at the cap: %d %s", code, body)
+	}
+	if !bytesEqualJSON(t, resp.Weights[1], capResp.Weights[0]) {
+		t.Fatalf("clamped entry differs from explicit cap entry: %+v vs %+v", resp.Weights[1], capResp.Weights[0])
+	}
+
+	// A non-positive length is rejected, as is a list beyond MaxWeightLens.
+	bad := smallEval
+	bad.Weights = []int{0}
+	if code, body := postJSON(t, ts.URL+"/v1/evaluate", bad, nil); code != http.StatusBadRequest {
+		t.Fatalf("weights [0]: %d %s, want 400", code, body)
+	}
+	long := smallEval
+	for l := 1; l <= 9; l++ { // default MaxWeightLens is 8
+		long.Weights = append(long.Weights, l)
+	}
+	if code, body := postJSON(t, ts.URL+"/v1/evaluate", long, nil); code != http.StatusBadRequest {
+		t.Fatalf("oversized weights list: %d %s, want 400", code, body)
+	}
+}
+
 // TestClampsAndLimits: per-request knobs are honoured but bounded by the
 // server configuration.
 func TestClampsAndLimits(t *testing.T) {
