@@ -329,6 +329,18 @@ func BenchmarkCRCThroughput(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	slicing16, err := crc.NewSlicing16(crc.CRC32IEEE)
+	if err != nil {
+		b.Fatal(err)
+	}
+	chorba, err := crc.NewChorba(crc.CRC32IEEE)
+	if err != nil {
+		b.Fatal(err)
+	}
+	hardware, err := crc.NewHardware(crc.CRC32IEEE)
+	if err != nil {
+		b.Fatal(err)
+	}
 	stdTab := crc32.MakeTable(crc32.IEEE)
 	want := crc32.Checksum(data, stdTab)
 	engines := []struct {
@@ -338,6 +350,9 @@ func BenchmarkCRCThroughput(b *testing.B) {
 		{"bitwise", func() uint32 { return bitwise.Checksum(data) }},
 		{"table", func() uint32 { return table.Checksum(data) }},
 		{"slicing8", func() uint32 { return slicing.Checksum(data) }},
+		{"slicing16", func() uint32 { return slicing16.Checksum(data) }},
+		{"chorba", func() uint32 { return chorba.Checksum(data) }},
+		{"hardware", func() uint32 { return hardware.Checksum(data) }},
 		{"stdlib", func() uint32 { return crc32.Checksum(data, stdTab) }},
 	}
 	for _, e := range engines {

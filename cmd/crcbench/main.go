@@ -1,0 +1,282 @@
+// Command crcbench sweeps every checksum kernel over a range of payload
+// sizes and writes the throughput trajectory as JSON — the benchmark
+// artifact tracked in BENCH_PR6.json.
+//
+// Usage:
+//
+//	crcbench [-o BENCH_PR6.json] [-quick] [-algorithm CRC-32C/iSCSI]
+//	         [-kinds slicing8,slicing16,chorba,hardware]
+//	         [-sizes 64,4096,1048576] [-budget 50ms]
+//	crcbench -validate BENCH_PR6.json
+//
+// The default sweep runs every concrete kernel kind the algorithm
+// admits across payload sizes from 64 B to 16 MiB. -quick shrinks the
+// sweep (four sizes up to 1 MiB, small time budget) for CI smoke runs.
+// -validate checks an existing report against the schema the sweep
+// writes — kernels present, sizes covered, throughput positive — and
+// exits non-zero on a malformed file, so CI can gate on artifact shape
+// without re-measuring.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+
+	"koopmancrc/crchash"
+)
+
+// Report is the artifact schema: host identification, the measured
+// startup auto-profile, and one row per kernel × payload size.
+type Report struct {
+	// Schema names the artifact format; bump on incompatible change.
+	Schema string `json:"schema"`
+	// GeneratedAt is RFC 3339 UTC.
+	GeneratedAt string `json:"generated_at"`
+	Host        Host   `json:"host"`
+	// Algorithm is the catalogued algorithm swept.
+	Algorithm string `json:"algorithm"`
+	// AutoKernel is the kernel Kind Auto picked for the algorithm on
+	// this host during this run.
+	AutoKernel string `json:"auto_kernel"`
+	// AutoProfile is the startup micro-benchmark that drove the choice.
+	AutoProfile crchash.AutoReport `json:"auto_profile"`
+	Results     []Result           `json:"results"`
+}
+
+// Host identifies the measuring machine well enough to compare
+// trajectories across checkins.
+type Host struct {
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	NumCPU    int    `json:"num_cpu"`
+}
+
+// Result is one kernel × payload-size measurement.
+type Result struct {
+	Kernel string `json:"kernel"`
+	// Size is the payload length in bytes.
+	Size int `json:"size"`
+	// GBps is throughput in decimal gigabytes per second.
+	GBps float64 `json:"gbps"`
+}
+
+const schemaName = "koopmancrc/crcbench/v1"
+
+var fullSizes = []int{64, 256, 1024, 4096, 16384, 65536, 262144, 1 << 20, 4 << 20, 16 << 20}
+var quickSizes = []int{64, 4096, 65536, 1 << 20}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "crcbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("crcbench", flag.ContinueOnError)
+	outPath := fs.String("o", "", "write the JSON report here instead of stdout")
+	quick := fs.Bool("quick", false, "small sweep with a short budget (CI smoke)")
+	algorithm := fs.String("algorithm", "CRC-32C/iSCSI", "catalogued algorithm to sweep")
+	kindList := fs.String("kinds", "", "comma-separated kernel kinds (default: every admissible concrete kind)")
+	sizeList := fs.String("sizes", "", "comma-separated payload sizes in bytes (default: 64B..16MiB sweep)")
+	budget := fs.Duration("budget", 50*time.Millisecond, "time budget per kernel+size measurement")
+	validate := fs.String("validate", "", "validate an existing report file and exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *validate != "" {
+		return validateReport(*validate, out)
+	}
+
+	params, err := crchash.Lookup(*algorithm)
+	if err != nil {
+		return err
+	}
+
+	kinds, err := pickKinds(*kindList, params)
+	if err != nil {
+		return err
+	}
+	sizes := fullSizes
+	if *quick {
+		sizes = quickSizes
+		if *budget == 50*time.Millisecond {
+			*budget = 10 * time.Millisecond
+		}
+	}
+	if *sizeList != "" {
+		sizes = nil
+		for _, f := range strings.Split(*sizeList, ",") {
+			var n int
+			if _, err := fmt.Sscanf(strings.TrimSpace(f), "%d", &n); err != nil || n <= 0 {
+				return fmt.Errorf("bad -sizes entry %q", f)
+			}
+			sizes = append(sizes, n)
+		}
+		sort.Ints(sizes)
+	}
+
+	rep := Report{
+		Schema:      schemaName,
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		Host: Host{
+			GoVersion: runtime.Version(),
+			GOOS:      runtime.GOOS,
+			GOARCH:    runtime.GOARCH,
+			NumCPU:    runtime.NumCPU(),
+		},
+		Algorithm:   *algorithm,
+		AutoKernel:  crchash.AutoKind(params).String(),
+		AutoProfile: crchash.AutoProfile(),
+	}
+
+	payload := make([]byte, sizes[len(sizes)-1])
+	seed := uint64(0x9E3779B97F4A7C15)
+	for i := range payload {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		payload[i] = byte(seed >> 56)
+	}
+
+	for _, k := range kinds {
+		e, err := crchash.NewEngine(params, k)
+		if err != nil {
+			return fmt.Errorf("%v: %w", k, err)
+		}
+		for _, size := range sizes {
+			bps := measure(e, payload[:size], *budget)
+			rep.Results = append(rep.Results, Result{
+				Kernel: k.String(), Size: size, GBps: bps / 1e9,
+			})
+			fmt.Fprintf(out, "%-10s %9dB %8.3f GB/s\n", k, size, bps/1e9)
+		}
+	}
+
+	enc, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	enc = append(enc, '\n')
+	if *outPath == "" {
+		_, err = out.Write(enc)
+		return err
+	}
+	return os.WriteFile(*outPath, enc, 0o644)
+}
+
+// pickKinds resolves -kinds, defaulting to every concrete kind the
+// algorithm admits (Bitwise included: the trajectory tracks the floor
+// too).
+func pickKinds(list string, p crchash.Params) ([]crchash.Kind, error) {
+	if list == "" {
+		var out []crchash.Kind
+		for _, k := range crchash.Kinds() {
+			if k.Admits(p) {
+				out = append(out, k)
+			}
+		}
+		return out, nil
+	}
+	var out []crchash.Kind
+	for _, f := range strings.Split(list, ",") {
+		k, err := crchash.ParseKind(f)
+		if err != nil {
+			return nil, err
+		}
+		if k == crchash.Auto {
+			return nil, fmt.Errorf("-kinds wants concrete kinds; auto is a selection policy")
+		}
+		if !k.Admits(p) {
+			return nil, fmt.Errorf("kind %v does not admit %s", k, p.Name)
+		}
+		out = append(out, k)
+	}
+	return out, nil
+}
+
+// measure times one engine on one payload for the budget and returns
+// bytes/second.
+func measure(e crchash.Engine, data []byte, budget time.Duration) float64 {
+	e.Checksum(data) // warm tables and the stdlib's lazy table init
+	var done int64
+	start := time.Now()
+	for time.Since(start) < budget {
+		e.Checksum(data)
+		done += int64(len(data))
+	}
+	elapsed := time.Since(start)
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(done) / elapsed.Seconds()
+}
+
+// validateReport checks a report file against the schema the sweep
+// writes: schema tag, host fields, at least one kernel measured over at
+// least four sizes, every throughput positive, and the auto profile
+// present. It is the CI gate on the checked-in artifact.
+func validateReport(path string, out io.Writer) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var rep Report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if rep.Schema != schemaName {
+		return fmt.Errorf("%s: schema %q, want %q", path, rep.Schema, schemaName)
+	}
+	if rep.GeneratedAt == "" {
+		return fmt.Errorf("%s: missing generated_at", path)
+	}
+	if _, err := time.Parse(time.RFC3339, rep.GeneratedAt); err != nil {
+		return fmt.Errorf("%s: generated_at: %w", path, err)
+	}
+	if rep.Host.GoVersion == "" || rep.Host.GOARCH == "" || rep.Host.GOOS == "" {
+		return fmt.Errorf("%s: incomplete host identification %+v", path, rep.Host)
+	}
+	if rep.Algorithm == "" {
+		return fmt.Errorf("%s: missing algorithm", path)
+	}
+	if _, err := crchash.ParseKind(rep.AutoKernel); err != nil {
+		return fmt.Errorf("%s: auto_kernel: %w", path, err)
+	}
+	if len(rep.AutoProfile.Kernels) == 0 {
+		return fmt.Errorf("%s: empty auto_profile", path)
+	}
+	sizesByKernel := map[string]map[int]bool{}
+	for i, r := range rep.Results {
+		if _, err := crchash.ParseKind(r.Kernel); err != nil {
+			return fmt.Errorf("%s: results[%d]: %w", path, i, err)
+		}
+		if r.Size <= 0 {
+			return fmt.Errorf("%s: results[%d]: non-positive size %d", path, i, r.Size)
+		}
+		if r.GBps <= 0 {
+			return fmt.Errorf("%s: results[%d]: non-positive throughput %v for %s/%d",
+				path, i, r.GBps, r.Kernel, r.Size)
+		}
+		if sizesByKernel[r.Kernel] == nil {
+			sizesByKernel[r.Kernel] = map[int]bool{}
+		}
+		sizesByKernel[r.Kernel][r.Size] = true
+	}
+	if len(sizesByKernel) == 0 {
+		return fmt.Errorf("%s: no results", path)
+	}
+	for kernel, sizes := range sizesByKernel {
+		if len(sizes) < 4 {
+			return fmt.Errorf("%s: kernel %s measured at only %d sizes, want >= 4", path, kernel, len(sizes))
+		}
+	}
+	fmt.Fprintf(out, "%s: valid (%d kernels, %d measurements)\n", path, len(sizesByKernel), len(rep.Results))
+	return nil
+}

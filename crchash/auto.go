@@ -1,0 +1,230 @@
+package crchash
+
+import (
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"koopmancrc/internal/crc"
+	"koopmancrc/internal/poly"
+)
+
+// Kind Auto is a measured choice. The first time an Auto engine is
+// built for a reflected 32-bit algorithm, a once-per-process
+// micro-benchmark times every kernel in that class — the slicing and
+// table kernels, the Chorba fold in both its unrolled and generic
+// forms, and the stdlib delegate in its three performance classes
+// (CLMUL-folded IEEE, CRC32C-instruction Castagnoli, and the portable
+// fallback every other generator gets) — on a small and a large
+// payload. Auto then ranks the kinds a parameter set admits by their
+// measured large-payload throughput and builds the winner.
+//
+// CRCHASH_KIND overrides the measurement: when it names a concrete
+// kind (e.g. "slicing16", "hardware"), Auto builds that kind for every
+// parameter set admitting it and falls back to the measured choice for
+// the rest. Unknown names are ignored.
+
+// KernelSpeed is one measured row of the startup micro-benchmark.
+type KernelSpeed struct {
+	// Kernel names the measured variant: a plain kind name, or a kind
+	// qualified by its performance class ("hardware[ieee]",
+	// "hardware[castagnoli]", "hardware[other]", "chorba[generic]").
+	Kernel string `json:"kernel"`
+	// Kind is the engine kind the row scores.
+	Kind Kind `json:"-"`
+	// SmallBps and LargeBps are measured bytes/second on the small
+	// (512 B) and large (256 KiB) payloads.
+	SmallBps float64 `json:"small_bps"`
+	LargeBps float64 `json:"large_bps"`
+}
+
+// AutoReport is the startup micro-benchmark's outcome.
+type AutoReport struct {
+	// Override holds the raw CRCHASH_KIND value when it named a valid
+	// concrete kind, "" otherwise.
+	Override string `json:"override,omitempty"`
+	// Kernels lists every measured variant, fastest large-payload
+	// first.
+	Kernels []KernelSpeed `json:"kernels"`
+}
+
+const (
+	autoSmallPayload = 512
+	autoLargePayload = 256 << 10
+	// autoBudget bounds each kernel+payload measurement; the whole
+	// startup benchmark stays under ~20 ms.
+	autoBudget = 1200 * time.Microsecond
+)
+
+var autoState struct {
+	once     sync.Once
+	report   AutoReport
+	byName   map[string]*KernelSpeed
+	overKind Kind
+	overSet  bool
+}
+
+// genericPoly is a non-catalogued generator used to measure the code
+// paths arbitrary registered polynomials would take: the stdlib
+// delegate's portable fallback and the Chorba generic fold.
+var genericPoly = poly.MustKoopman(32, 0xDEADBEEF)
+
+func reflectedParams(p poly.P) Params {
+	return Params{Poly: p, Init: 0xFFFFFFFF, RefIn: true, RefOut: true, XorOut: 0xFFFFFFFF}
+}
+
+// measureBps times one engine on a payload for the budget and returns
+// bytes/second.
+func measureBps(e Engine, data []byte, budget time.Duration) float64 {
+	e.Checksum(data) // warm tables, branch predictors and the stdlib's lazy init
+	var done int64
+	start := time.Now()
+	for time.Since(start) < budget {
+		e.Checksum(data)
+		done += int64(len(data))
+	}
+	elapsed := time.Since(start)
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(done) / elapsed.Seconds()
+}
+
+func autoMeasure() {
+	small := make([]byte, autoSmallPayload)
+	large := make([]byte, autoLargePayload)
+	// Deterministic non-trivial fill; the kernels are data-oblivious,
+	// this only keeps the payload from being all zeros.
+	seed := uint64(0x9E3779B97F4A7C15)
+	for i := range large {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		large[i] = byte(seed >> 56)
+		if i < len(small) {
+			small[i] = byte(seed >> 56)
+		}
+	}
+
+	koopman := reflectedParams(poly.Koopman32K)
+	generic := reflectedParams(genericPoly)
+	rows := []struct {
+		name  string
+		kind  Kind
+		build func() (Engine, error)
+	}{
+		// Poly-independent kernels, measured on the paper's polynomial
+		// (no stdlib fast path can interfere there).
+		{"table", Table, func() (Engine, error) { return crc.NewTable(koopman) }},
+		{"slicing8", Slicing8, func() (Engine, error) { return crc.NewSlicing8(koopman) }},
+		{"slicing16", Slicing16, func() (Engine, error) { return crc.NewSlicing16(koopman) }},
+		{"chorba", Chorba, func() (Engine, error) { return crc.NewChorba(koopman) }},
+		{"chorba[generic]", Chorba, func() (Engine, error) { return crc.NewChorba(generic) }},
+		// The stdlib delegate's three performance classes.
+		{"hardware[ieee]", Hardware, func() (Engine, error) { return crc.NewHardware(crc.CRC32IEEE) }},
+		{"hardware[castagnoli]", Hardware, func() (Engine, error) { return crc.NewHardware(crc.CRC32C) }},
+		{"hardware[other]", Hardware, func() (Engine, error) { return crc.NewHardware(generic) }},
+	}
+
+	autoState.byName = make(map[string]*KernelSpeed, len(rows))
+	for _, row := range rows {
+		e, err := row.build()
+		if err != nil {
+			continue // cannot happen for these fixed parameter sets
+		}
+		ks := KernelSpeed{
+			Kernel:   row.name,
+			Kind:     row.kind,
+			SmallBps: measureBps(e, small, autoBudget),
+			LargeBps: measureBps(e, large, autoBudget),
+		}
+		autoState.report.Kernels = append(autoState.report.Kernels, ks)
+	}
+	sort.SliceStable(autoState.report.Kernels, func(i, j int) bool {
+		return autoState.report.Kernels[i].LargeBps > autoState.report.Kernels[j].LargeBps
+	})
+	for i := range autoState.report.Kernels {
+		ks := &autoState.report.Kernels[i]
+		autoState.byName[ks.Kernel] = ks
+	}
+
+	if v := os.Getenv("CRCHASH_KIND"); v != "" {
+		if k, err := ParseKind(v); err == nil && k != Auto {
+			autoState.overKind, autoState.overSet = k, true
+			autoState.report.Override = v
+		}
+	}
+}
+
+func autoProfile() *AutoReport {
+	autoState.once.Do(autoMeasure)
+	return &autoState.report
+}
+
+// AutoProfile runs (once) and returns the startup micro-benchmark:
+// every measured kernel variant with its small- and large-payload
+// throughput, fastest first, plus any active CRCHASH_KIND override.
+func AutoProfile() AutoReport {
+	r := autoProfile()
+	out := AutoReport{Override: r.Override}
+	out.Kernels = append(out.Kernels, r.Kernels...)
+	return out
+}
+
+// speedFor resolves the measured row scoring kind k for parameter set
+// p, accounting for the class-dependent kernels.
+func speedFor(k Kind, p Params) *KernelSpeed {
+	name := k.String()
+	switch k {
+	case Hardware:
+		switch uint32(p.Poly.Reversed()) {
+		case 0xEDB88320:
+			name = "hardware[ieee]"
+		case 0x82F63B78:
+			name = "hardware[castagnoli]"
+		default:
+			name = "hardware[other]"
+		}
+	case Chorba:
+		if ch, err := crc.NewChorba(p); err != nil || !ch.Unrolled() {
+			name = "chorba[generic]"
+		}
+	}
+	return autoState.byName[name]
+}
+
+// AutoKind reports the kind Auto builds for the parameter set: the
+// CRCHASH_KIND override when set and admissible, otherwise the
+// measured large-payload winner among the kinds the set admits (for
+// parameter sets outside the reflected 32-bit class, the structurally
+// fastest kind — Table, then Bitwise).
+func AutoKind(p Params) Kind {
+	autoState.once.Do(autoMeasure)
+	if autoState.overSet && autoState.overKind.Admits(p) {
+		return autoState.overKind
+	}
+	if !Slicing16.Admits(p) { // not reflected 32-bit: nothing to measure
+		if Table.Admits(p) {
+			return Table
+		}
+		return Bitwise
+	}
+	best, bestBps := Slicing8, -1.0
+	// Measured candidates, fastest-expected first so ties stay stable.
+	for _, k := range []Kind{Hardware, Slicing16, Slicing8, Chorba, Table} {
+		if ks := speedFor(k, p); ks != nil && ks.LargeBps > bestBps {
+			best, bestBps = k, ks.LargeBps
+		}
+	}
+	return best
+}
+
+// autoEngine builds the engine Auto selects for the parameter set.
+func autoEngine(p Params) Engine {
+	k := AutoKind(p)
+	if e, err := NewEngine(p, k); err == nil {
+		return e
+	}
+	// Unreachable when AutoKind honors Admits; the reference engine
+	// admits everything.
+	return crc.NewBitwise(p)
+}

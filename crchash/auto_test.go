@@ -1,0 +1,210 @@
+package crchash
+
+import (
+	"sync"
+	"testing"
+
+	"koopmancrc/internal/crc"
+	"koopmancrc/internal/poly"
+)
+
+// resetAuto clears the measured profile so a test can re-run the
+// startup benchmark under a different CRCHASH_KIND.
+func resetAuto() {
+	autoState.once = sync.Once{}
+	autoState.report = AutoReport{}
+	autoState.byName = nil
+	autoState.overKind = 0
+	autoState.overSet = false
+}
+
+func TestKindStringParseRoundTrip(t *testing.T) {
+	for _, k := range append(Kinds(), Auto) {
+		got, err := ParseKind(k.String())
+		if err != nil || got != k {
+			t.Errorf("ParseKind(%q) = %v, %v; want %v", k.String(), got, err, k)
+		}
+	}
+	if got, err := ParseKind("  Slicing16 "); err != nil || got != Slicing16 {
+		t.Errorf("ParseKind should trim and fold case: got %v, %v", got, err)
+	}
+	if _, err := ParseKind("simd512"); err == nil {
+		t.Error("ParseKind should reject unknown names")
+	}
+	if Kind(99).String() != "Kind(99)" {
+		t.Errorf("out-of-range String() = %q", Kind(99).String())
+	}
+}
+
+func TestKindsEnumeratesEveryConcreteKind(t *testing.T) {
+	ks := Kinds()
+	seen := map[Kind]bool{}
+	for _, k := range ks {
+		if k == Auto {
+			t.Error("Kinds() must not include Auto")
+		}
+		if seen[k] {
+			t.Errorf("Kinds() lists %v twice", k)
+		}
+		seen[k] = true
+		// Every listed kind must be constructible for at least the
+		// reflected 32-bit class.
+		if !k.Admits(CRC32C) {
+			t.Errorf("%v does not admit CRC-32C", k)
+		}
+	}
+	if len(ks) != 6 {
+		t.Errorf("Kinds() has %d entries, want 6", len(ks))
+	}
+}
+
+func TestAdmitsMatchesConstructors(t *testing.T) {
+	ccitt, err := Lookup("CRC-16/CCITT-FALSE")
+	if err != nil {
+		t.Fatal(err)
+	}
+	arc, err := Lookup("CRC-16/ARC")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []Params{CRC32IEEE, CRC32C, CRC32K, ccitt, arc} {
+		for _, k := range Kinds() {
+			_, err := NewEngine(p, k)
+			if admits := k.Admits(p); admits != (err == nil) {
+				t.Errorf("%s/%v: Admits=%v but constructor err=%v", p.Name, k, admits, err)
+			}
+		}
+	}
+}
+
+func TestKindOfRoundTrip(t *testing.T) {
+	for _, k := range Kinds() {
+		e, err := NewEngine(CRC32C, k)
+		if err != nil {
+			t.Fatalf("%v: %v", k, err)
+		}
+		if got := KindOf(e); got != k {
+			t.Errorf("KindOf(NewEngine(%v)) = %v", k, got)
+		}
+	}
+	// Auto resolves to some concrete kind, never back to Auto.
+	if got := KindOf(New(CRC32C)); got == Auto {
+		t.Error("KindOf(New(...)) should name the concrete kernel")
+	}
+}
+
+func TestAutoProfileMeasuresEveryKernelClass(t *testing.T) {
+	r := AutoProfile()
+	want := []string{
+		"table", "slicing8", "slicing16", "chorba", "chorba[generic]",
+		"hardware[ieee]", "hardware[castagnoli]", "hardware[other]",
+	}
+	byName := map[string]KernelSpeed{}
+	for _, ks := range r.Kernels {
+		byName[ks.Kernel] = ks
+	}
+	for _, name := range want {
+		ks, ok := byName[name]
+		if !ok {
+			t.Errorf("profile missing kernel %q", name)
+			continue
+		}
+		if ks.SmallBps <= 0 || ks.LargeBps <= 0 {
+			t.Errorf("%s: non-positive throughput %v / %v", name, ks.SmallBps, ks.LargeBps)
+		}
+	}
+	for i := 1; i < len(r.Kernels); i++ {
+		if r.Kernels[i-1].LargeBps < r.Kernels[i].LargeBps {
+			t.Errorf("profile not sorted fastest-first at index %d", i)
+		}
+	}
+}
+
+func TestAutoKindAdmissibleAndMeasured(t *testing.T) {
+	ccitt, err := Lookup("CRC-16/CCITT-FALSE")
+	if err != nil {
+		t.Fatal(err)
+	}
+	crc5 := Pure(poly.MustKoopman(5, 0x15))
+	for _, p := range []Params{CRC32IEEE, CRC32C, CRC32K, ccitt, crc5} {
+		k := AutoKind(p)
+		if k == Auto || !k.Admits(p) {
+			t.Errorf("%s: AutoKind = %v (admits: %v)", p.Name, k, k.Admits(p))
+		}
+		if e := New(p); KindOf(e) != k {
+			t.Errorf("%s: New built %v, AutoKind says %v", p.Name, KindOf(e), k)
+		}
+	}
+	// Outside the reflected 32-bit class the choice is structural.
+	if k := AutoKind(ccitt); k != Table {
+		t.Errorf("CCITT-FALSE: AutoKind = %v, want table", k)
+	}
+	if k := AutoKind(crc5); k != Bitwise {
+		t.Errorf("width-5: AutoKind = %v, want bitwise", k)
+	}
+	// For reflected 32-bit params the winner must be at least as fast as
+	// slicing8 in the measured profile (it was a candidate).
+	r := AutoProfile()
+	speeds := map[string]float64{}
+	for _, ks := range r.Kernels {
+		speeds[ks.Kernel] = ks.LargeBps
+	}
+	if win := AutoKind(CRC32K); win != Auto {
+		name := win.String()
+		if win == Hardware {
+			name = "hardware[other]"
+		}
+		if speeds[name] < speeds["slicing8"] {
+			t.Errorf("CRC32K winner %v measured %f B/s, slower than slicing8 %f B/s",
+				win, speeds[name], speeds["slicing8"])
+		}
+	}
+}
+
+func TestCRCHashKindOverride(t *testing.T) {
+	defer resetAuto()
+
+	t.Setenv("CRCHASH_KIND", "chorba")
+	resetAuto()
+	if k := AutoKind(CRC32C); k != Chorba {
+		t.Errorf("override=chorba: AutoKind(CRC32C) = %v", k)
+	}
+	if got := AutoProfile().Override; got != "chorba" {
+		t.Errorf("profile override = %q, want chorba", got)
+	}
+	// Params the override does not admit fall back to the measured pick.
+	ccitt, err := Lookup("CRC-16/CCITT-FALSE")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k := AutoKind(ccitt); k != Table {
+		t.Errorf("override=chorba on CCITT-FALSE: AutoKind = %v, want table fallback", k)
+	}
+
+	// Unknown names and "auto" are ignored.
+	t.Setenv("CRCHASH_KIND", "warpdrive")
+	resetAuto()
+	if got := AutoProfile().Override; got != "" {
+		t.Errorf("invalid override recorded as %q", got)
+	}
+	t.Setenv("CRCHASH_KIND", "auto")
+	resetAuto()
+	if got := AutoProfile().Override; got != "" {
+		t.Errorf("override=auto recorded as %q", got)
+	}
+}
+
+func TestAutoEngineChecksumsCorrectly(t *testing.T) {
+	// Whatever Auto picks, the checksum must match the bitwise
+	// reference — selection can never change the answer.
+	data := []byte("123456789")
+	for _, p := range []Params{CRC32IEEE, CRC32C, CRC32K} {
+		want := crc.NewBitwise(p).Checksum(data)
+		if p.Check != 0 && want != p.Check {
+			t.Fatalf("%s: reference %#x disagrees with catalogue check %#x", p.Name, want, p.Check)
+		}
+		if got := New(p).Checksum(data); got != want {
+			t.Errorf("%s: auto engine checksum %#x, want %#x", p.Name, got, want)
+		}
+	}
+}

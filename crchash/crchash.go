@@ -1,8 +1,11 @@
 // Package crchash computes CRC checksums for widths up to 32 bits: a
 // catalogue of standard algorithms in the Rocksoft parameter model, user
-// registration of custom algorithms, three engines (bit-at-a-time,
-// byte-table, slicing-by-8) cross-validated against hash/crc32, and
-// hash.Hash32-compatible digests.
+// registration of custom algorithms, six engine kinds (bit-at-a-time,
+// byte-table, slicing-by-8, slicing-by-16, the table-free Chorba fold,
+// and a hardware-assisted hash/crc32 delegate) cross-validated against
+// the bitwise reference, and hash.Hash32-compatible digests. Kind Auto
+// picks among them by a once-per-process startup micro-benchmark,
+// overridable with the CRCHASH_KIND environment variable.
 //
 // This is the checksum half of the koopmancrc module, split out so that
 // serving paths that only compute CRCs need none of the evaluation
@@ -15,6 +18,8 @@ package crchash
 import (
 	"fmt"
 	"hash"
+	"strconv"
+	"strings"
 	"sync"
 
 	"koopmancrc/internal/crc"
@@ -54,8 +59,12 @@ type Kind int
 
 // Available engine kinds.
 const (
-	// Auto picks the fastest engine the parameters admit: slicing-by-8,
-	// then byte-table, then bitwise.
+	// Auto picks the fastest admissible kernel by measurement: a
+	// once-per-process startup micro-benchmark times every reflected
+	// 32-bit kernel on small and large payloads and Auto rides the
+	// winner (overridable via the CRCHASH_KIND environment variable).
+	// Parameter sets outside the reflected 32-bit class fall back to
+	// the structurally fastest engine they admit.
 	Auto Kind = iota
 	// Bitwise is the bit-at-a-time reference engine, valid for every
 	// width and reflection combination.
@@ -67,6 +76,20 @@ const (
 	// algorithms only) — the kind of software implementation the iSCSI
 	// effort contemplated for CRC-32C.
 	Slicing8
+	// Slicing16 processes sixteen bytes per step (reflected 32-bit
+	// algorithms only), doubling Slicing8's stride so the table loads
+	// for a whole block are independent.
+	Slicing16
+	// Chorba is the table-free XOR-folding kernel after "Chorba: A
+	// novel CRC32 implementation" (reflected 32-bit algorithms only):
+	// no table memory and no cache pressure, at some cost in raw
+	// throughput against the slicing kernels.
+	Chorba
+	// Hardware delegates to the standard library's hash/crc32, which
+	// uses CLMUL folding (IEEE) and the SSE4.2/ARMv8 CRC32C
+	// instructions (Castagnoli) where the platform has them
+	// (reflected 32-bit algorithms only).
+	Hardware
 )
 
 // String returns the kind name.
@@ -80,26 +103,109 @@ func (k Kind) String() string {
 		return "table"
 	case Slicing8:
 		return "slicing8"
+	case Slicing16:
+		return "slicing16"
+	case Chorba:
+		return "chorba"
+	case Hardware:
+		return "hardware"
 	default:
-		return fmt.Sprintf("Kind(%d)", int(k))
+		return "Kind(" + strconv.Itoa(int(k)) + ")"
 	}
 }
 
-// New returns the fastest engine the parameter set admits (Kind Auto).
-func New(p Params) Engine { return crc.New(p) }
+// Kinds returns the concrete engine kinds — every kind except Auto, in
+// reference-first order — so callers (and cmd/crcbench) can iterate
+// kernels without hardcoding the list.
+func Kinds() []Kind {
+	return []Kind{Bitwise, Table, Slicing8, Slicing16, Chorba, Hardware}
+}
+
+// ParseKind maps a kind name (as produced by String, case-insensitive)
+// back to the Kind. It is the parser behind the CRCHASH_KIND override
+// and cmd/crcbench's -kinds flag.
+func ParseKind(s string) (Kind, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "auto":
+		return Auto, nil
+	case "bitwise":
+		return Bitwise, nil
+	case "table":
+		return Table, nil
+	case "slicing8":
+		return Slicing8, nil
+	case "slicing16":
+		return Slicing16, nil
+	case "chorba":
+		return Chorba, nil
+	case "hardware":
+		return Hardware, nil
+	default:
+		return 0, fmt.Errorf("crchash: unknown engine kind %q", s)
+	}
+}
+
+// Admits reports whether the parameter set can be served by this kind —
+// the same predicate the constructors enforce, without paying table
+// construction to ask.
+func (k Kind) Admits(p Params) bool {
+	switch k {
+	case Auto, Bitwise:
+		return true
+	case Table:
+		return p.Poly.Width()%8 == 0 && p.RefIn == p.RefOut
+	case Slicing8, Slicing16, Chorba, Hardware:
+		return p.Poly.Width() == 32 && p.RefIn && p.RefOut
+	default:
+		return false
+	}
+}
+
+// KindOf reports which concrete kind built the engine, so serving
+// layers can surface the kernel that actually computed a checksum.
+// Engines not built by this package report Auto.
+func KindOf(e Engine) Kind {
+	switch e.(type) {
+	case *crc.Bitwise:
+		return Bitwise
+	case *crc.Table:
+		return Table
+	case *crc.Slicing8:
+		return Slicing8
+	case *crc.Slicing16:
+		return Slicing16
+	case *crc.Chorba:
+		return Chorba
+	case *crc.Hardware:
+		return Hardware
+	default:
+		return Auto
+	}
+}
+
+// New returns the fastest engine the parameter set admits (Kind Auto):
+// the measured once-per-process winner for reflected 32-bit algorithms,
+// the structurally fastest kernel otherwise.
+func New(p Params) Engine { return autoEngine(p) }
 
 // NewEngine builds an engine of an explicit kind, erroring when the
 // parameters do not admit it (e.g. Table for a width not divisible by 8).
 func NewEngine(p Params, k Kind) (Engine, error) {
 	switch k {
 	case Auto:
-		return crc.New(p), nil
+		return autoEngine(p), nil
 	case Bitwise:
 		return crc.NewBitwise(p), nil
 	case Table:
 		return crc.NewTable(p)
 	case Slicing8:
 		return crc.NewSlicing8(p)
+	case Slicing16:
+		return crc.NewSlicing16(p)
+	case Chorba:
+		return crc.NewChorba(p)
+	case Hardware:
+		return crc.NewHardware(p)
 	default:
 		return nil, fmt.Errorf("crchash: unknown engine kind %v", k)
 	}
@@ -149,7 +255,7 @@ func ForAlgorithm(name string) (Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	e, _ := engines.LoadOrStore(name, crc.New(params))
+	e, _ := engines.LoadOrStore(name, autoEngine(params))
 	return e.(Engine), nil
 }
 

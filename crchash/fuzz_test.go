@@ -1,0 +1,70 @@
+package crchash_test
+
+import (
+	"testing"
+
+	"koopmancrc/crchash"
+	"koopmancrc/internal/poly"
+)
+
+// FuzzKernelCrossValidation drives every concrete checksum kernel over
+// a fuzzer-chosen parameter set and payload and asserts they all agree
+// with the bitwise reference — both one-shot and through a chunked
+// hash.Hash32 digest whose write boundaries the fuzzer also chooses
+// (so the 8/16/24-byte stride kernels see partial words at arbitrary
+// offsets). Selection can never change the answer; a kernel that
+// drifts from the reference on any (params, payload, split) triple is
+// a bug this fuzzer is built to surface.
+func FuzzKernelCrossValidation(f *testing.F) {
+	f.Add(uint64(0xBA0DC66B), uint32(0xFFFFFFFF), uint32(0xFFFFFFFF), []byte("123456789"), uint16(3))
+	f.Add(uint64(0x82608EDB), uint32(0), uint32(0), []byte{}, uint16(0)) // 802.3 in Koopman form
+	f.Add(uint64(0x8F6E37A0), uint32(0xFFFFFFFF), uint32(0), []byte("hello crc world"), uint16(7))
+	f.Add(uint64(1), uint32(1), uint32(1), make([]byte, 64), uint16(17))
+	f.Add(uint64(0xDEADBEEF), uint32(0x12345678), uint32(0x9ABCDEF0), make([]byte, 100), uint16(23))
+
+	f.Fuzz(func(t *testing.T, kpoly uint64, init, xorout uint32, data []byte, cut uint16) {
+		// Koopman form with the top bit forced keeps every fuzz input a
+		// valid degree-32 generator.
+		p, err := poly.FromKoopman(32, kpoly&0xFFFFFFFF|1<<31)
+		if err != nil {
+			t.Fatalf("forced top bit but Koopman parse failed: %v", err)
+		}
+		params := crchash.Params{
+			Poly: p, Init: init, RefIn: true, RefOut: true, XorOut: xorout,
+		}
+		ref, err := crchash.NewEngine(params, crchash.Bitwise)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := ref.Checksum(data)
+		for _, k := range crchash.Kinds() {
+			if !k.Admits(params) {
+				continue
+			}
+			e, err := crchash.NewEngine(params, k)
+			if err != nil {
+				t.Fatalf("%v admits params but constructor failed: %v", k, err)
+			}
+			if got := e.Checksum(data); got != want {
+				t.Errorf("%v: one-shot %#x != reference %#x (poly %v, len %d)",
+					k, got, want, p, len(data))
+			}
+			// Chunked digest writes at a fuzzer-chosen boundary, then
+			// single-byte writes across the next stride so every kernel
+			// sees sub-word tails mid-stream.
+			d := crchash.NewDigest(e)
+			split := int(cut) % (len(data) + 1)
+			d.Write(data[:split])
+			rest := data[split:]
+			for len(rest) > 0 && len(rest) <= 24 {
+				d.Write(rest[:1])
+				rest = rest[1:]
+			}
+			d.Write(rest)
+			if got := d.Sum32(); got != want {
+				t.Errorf("%v: chunked digest %#x != reference %#x (split %d, len %d)",
+					k, got, want, split, len(data))
+			}
+		}
+	})
+}

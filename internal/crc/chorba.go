@@ -1,0 +1,145 @@
+package crc
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Chorba is a table-free XOR-folding engine for reflected 32-bit
+// algorithms, after "Chorba: A novel CRC32 implementation" (Russell,
+// arXiv:2412.16398). Instead of lookup tables it uses the congruence
+//
+//	x^95 ≡ r95(x)  (mod G)
+//
+// to substitute every consumed 64-bit word of the message with an
+// equivalent XOR pattern strictly inside the next 128 bits of the
+// stream: a one at stream position j equals ones at positions j+95-d
+// for each term x^d of r95, and with deg(r95) ≤ 31 those offsets all
+// fall in [64, 95], clearing the word being consumed. The whole kernel
+// is a handful of shifts and XORs on two carry registers — no table
+// memory, no cache pressure — and the per-polynomial shift sequence is
+// just the set bits of x^95 mod G.
+//
+// The three catalogued 32-bit generators get unrolled kernels with
+// constant shift counts (see chorba_fold.go); every other reflected
+// 32-bit polynomial runs the same fold through a loop over its shift
+// list. The final <24 bytes finish through the table-free reflected
+// bit loop.
+type Chorba struct {
+	params Params
+	rpoly  uint32  // reversed generator, for the bit-serial tail
+	shifts []uint8 // left-shift amounts: 31-d for each term x^d of x^95 mod G
+	fold   func(uint32, []byte, uint32) uint32
+}
+
+var _ Engine = (*Chorba)(nil)
+
+// NewChorba builds the table-free folding engine.
+func NewChorba(p Params) (*Chorba, error) {
+	if p.Poly.Width() != 32 {
+		return nil, fmt.Errorf("crc: chorba requires width 32, got %d", p.Poly.Width())
+	}
+	if !p.RefIn || !p.RefOut {
+		return nil, fmt.Errorf("crc: chorba requires reflected input and output")
+	}
+	e := &Chorba{params: p, rpoly: uint32(p.Poly.Reversed())}
+	if f, ok := chorbaUnrolled[e.rpoly]; ok {
+		e.fold = f
+		return e, nil
+	}
+	r95 := xnModG(p, 95)
+	for d := 31; d >= 0; d-- {
+		if r95&(1<<uint(d)) != 0 {
+			e.shifts = append(e.shifts, uint8(31-d))
+		}
+	}
+	return e, nil
+}
+
+// le64 loads one 64-bit little-endian stream word: with reflected
+// (LSB-first) input, bit k of the word is stream bit k.
+func le64(b []byte) uint64 { return binary.LittleEndian.Uint64(b) }
+
+// xnModG computes x^n mod G for the parameter set's generator.
+func xnModG(p Params, n int) uint32 {
+	gfull := uint64(p.Poly.Full())
+	rem := uint64(1)
+	for i := 0; i < n; i++ {
+		rem <<= 1
+		if rem&(1<<32) != 0 {
+			rem ^= gfull
+		}
+	}
+	return uint32(rem)
+}
+
+// refBitwiseUpdate is the table-free reflected byte loop shared by the
+// folding kernels for short inputs and tails. The state is held in
+// reflected form, like every reflected engine in this package.
+func refBitwiseUpdate(rpoly, state uint32, data []byte) uint32 {
+	for _, b := range data {
+		state ^= uint32(b)
+		for k := 0; k < 8; k++ {
+			state = (state >> 1) ^ (rpoly & -(state & 1))
+		}
+	}
+	return state
+}
+
+// chorbaTail materialises the two carry words over the remaining 16..23
+// bytes and finishes bit-serially.
+func chorbaTail(rpoly uint32, data []byte, c1, c2 uint64) uint32 {
+	var buf [23]byte
+	r := copy(buf[:], data)
+	binary.LittleEndian.PutUint64(buf[0:8], binary.LittleEndian.Uint64(buf[0:8])^c1)
+	binary.LittleEndian.PutUint64(buf[8:16], binary.LittleEndian.Uint64(buf[8:16])^c2)
+	return refBitwiseUpdate(rpoly, 0, buf[:r])
+}
+
+// foldGeneric runs the fold with a per-polynomial shift list. It is the
+// kernel for reflected 32-bit generators without an unrolled variant.
+func (e *Chorba) foldGeneric(state uint32, data []byte) uint32 {
+	c1, c2 := uint64(state), uint64(0)
+	for len(data) >= 24 {
+		w := binary.LittleEndian.Uint64(data) ^ c1
+		c1, c2 = c2, 0
+		for _, s := range e.shifts {
+			c1 ^= w << s
+			if s > 0 {
+				c2 ^= w >> (64 - s)
+			}
+		}
+		data = data[8:]
+	}
+	return chorbaTail(e.rpoly, data, c1, c2)
+}
+
+// Unrolled reports whether this generator has a constant-shift unrolled
+// kernel (the catalogued 32-bit generators) rather than the roughly 4x
+// slower variable-shift generic fold.
+func (e *Chorba) Unrolled() bool { return e.fold != nil }
+
+// Params implements Engine.
+func (e *Chorba) Params() Params { return e.params }
+
+// Init implements Engine.
+func (e *Chorba) Init() uint32 { return reverseBits(e.params.Init, 32) }
+
+// Finalize implements Engine.
+func (e *Chorba) Finalize(state uint32) uint32 { return state ^ e.params.XorOut }
+
+// Update implements Engine.
+func (e *Chorba) Update(state uint32, data []byte) uint32 {
+	if len(data) < 24 {
+		return refBitwiseUpdate(e.rpoly, state, data)
+	}
+	if e.fold != nil {
+		return e.fold(state, data, e.rpoly)
+	}
+	return e.foldGeneric(state, data)
+}
+
+// Checksum implements Engine.
+func (e *Chorba) Checksum(data []byte) uint32 {
+	return e.Finalize(e.Update(e.Init(), data))
+}

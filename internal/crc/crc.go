@@ -1,6 +1,8 @@
 // Package crc implements parameterised CRC computation for widths up to 32
-// bits with three engines: bit-at-a-time (the reference), byte-wise table
-// lookup, and slicing-by-8. Algorithms follow the Rocksoft model
+// bits with six engines: bit-at-a-time (the reference), byte-wise table
+// lookup, slicing-by-8, slicing-by-16, a table-free Chorba-style folding
+// kernel, and a stdlib hash/crc32 delegate that rides CLMUL/SSE4.2 where
+// the platform has them. Algorithms follow the Rocksoft model
 // (init / reflect-in / reflect-out / xor-out) so every catalogued standard
 // can be expressed; the engines are cross-checked against each other, against
 // hash/crc32 and against GF(2) polynomial arithmetic in the tests.
@@ -284,11 +286,17 @@ func (e *Slicing8) Checksum(data []byte) uint32 {
 	return e.Finalize(e.Update(e.Init(), data))
 }
 
-// New returns the fastest available engine for the parameter set: slicing-
-// by-8 when applicable, then byte-table, falling back to the reference
-// bitwise engine.
+// New returns the fastest engine the parameter set admits on structural
+// grounds: the stdlib hardware delegate for generators it accelerates
+// (IEEE, Castagnoli — its software fallback is itself slicing-by-8, so
+// this never loses), then slicing-by-16, then byte-table, falling back
+// to the reference bitwise engine. The public crchash package layers a
+// measured once-per-process selection on top of this ordering.
 func New(p Params) Engine {
-	if s, err := NewSlicing8(p); err == nil {
+	if h, err := NewHardware(p); err == nil && h.Accelerated() {
+		return h
+	}
+	if s, err := NewSlicing16(p); err == nil {
 		return s
 	}
 	if t, err := NewTable(p); err == nil {

@@ -22,6 +22,15 @@ func engines(t *testing.T, p Params) []Engine {
 	if s8, err := NewSlicing8(p); err == nil {
 		out = append(out, s8)
 	}
+	if s16, err := NewSlicing16(p); err == nil {
+		out = append(out, s16)
+	}
+	if ch, err := NewChorba(p); err == nil {
+		out = append(out, ch)
+	}
+	if hw, err := NewHardware(p); err == nil {
+		out = append(out, hw)
+	}
 	return out
 }
 
@@ -241,8 +250,16 @@ func TestSlicing8Errors(t *testing.T) {
 }
 
 func TestNewPicksFastestEngine(t *testing.T) {
-	if _, ok := New(CRC32IEEE).(*Slicing8); !ok {
-		t.Error("New(CRC32IEEE) should return a slicing-by-8 engine")
+	// IEEE and Castagnoli have stdlib architecture fast paths; the paper's
+	// Koopman polynomial does not, so it gets the widest slicing kernel.
+	if hw, ok := New(CRC32IEEE).(*Hardware); !ok || !hw.Accelerated() {
+		t.Error("New(CRC32IEEE) should return an accelerated hardware engine")
+	}
+	if hw, ok := New(CRC32C).(*Hardware); !ok || !hw.Accelerated() {
+		t.Error("New(CRC32C) should return an accelerated hardware engine")
+	}
+	if _, ok := New(CRC32K).(*Slicing16); !ok {
+		t.Error("New(CRC32K) should return a slicing-by-16 engine")
 	}
 	if _, ok := New(CRC16CCITTFalse).(*Table); !ok {
 		t.Error("New(CRC16CCITTFalse) should return a table engine")

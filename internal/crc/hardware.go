@@ -1,0 +1,67 @@
+package crc
+
+import (
+	"fmt"
+	"hash/crc32"
+)
+
+// Hardware delegates to the standard library's hash/crc32, which uses
+// CLMUL folding for the IEEE polynomial and the SSE4.2 / ARMv8 CRC32C
+// instructions for Castagnoli where the CPU has them. For any other
+// reflected 32-bit generator the delegate is hash/crc32's portable
+// byte-table loop, so construction succeeds but nothing is offloaded —
+// Accelerated reports which case an engine landed in, and the measured
+// Auto selection in crchash only picks Hardware when it actually wins.
+type Hardware struct {
+	params Params
+	tab    *crc32.Table
+	accel  bool
+}
+
+var _ Engine = (*Hardware)(nil)
+
+// NewHardware builds the stdlib-delegating engine.
+func NewHardware(p Params) (*Hardware, error) {
+	if p.Poly.Width() != 32 {
+		return nil, fmt.Errorf("crc: hardware engine requires width 32, got %d", p.Poly.Width())
+	}
+	if !p.RefIn || !p.RefOut {
+		return nil, fmt.Errorf("crc: hardware engine requires reflected input and output")
+	}
+	rev := uint32(p.Poly.Reversed())
+	return &Hardware{
+		params: p,
+		tab:    crc32.MakeTable(rev),
+		accel:  rev == crc32.IEEE || rev == crc32.Castagnoli,
+	}, nil
+}
+
+// Accelerated reports whether hash/crc32 has an architecture fast path
+// for this generator (IEEE and Castagnoli); whether the running CPU
+// actually provides the instructions is the stdlib's runtime decision,
+// which the crchash startup micro-benchmark observes empirically.
+func (e *Hardware) Accelerated() bool { return e.accel }
+
+// Params implements Engine.
+func (e *Hardware) Params() Params { return e.params }
+
+// Init implements Engine. The state is held in reflected form like
+// every reflected engine in this package.
+func (e *Hardware) Init() uint32 { return reverseBits(e.params.Init, 32) }
+
+// Finalize implements Engine.
+func (e *Hardware) Finalize(state uint32) uint32 { return state ^ e.params.XorOut }
+
+// Update implements Engine. hash/crc32's Update is the same reflected
+// table recurrence wrapped in complements — Update(c, tab, p) computes
+// ^update(^c, p) over the raw reflected register — so un-complementing
+// at the boundary yields exactly this package's pure reflected state,
+// for any Init/XorOut convention.
+func (e *Hardware) Update(state uint32, data []byte) uint32 {
+	return ^crc32.Update(^state, e.tab, data)
+}
+
+// Checksum implements Engine.
+func (e *Hardware) Checksum(data []byte) uint32 {
+	return e.Finalize(e.Update(e.Init(), data))
+}

@@ -77,6 +77,7 @@ func (c Config) withDefaults() Config {
 type metrics struct {
 	requests  *expvar.Map // per-endpoint request counts
 	errors    *expvar.Map // per-endpoint non-2xx counts
+	kernels   *expvar.Map // checksums served, by kernel kind
 	flights   expvar.Int  // evaluations actually started on an engine
 	coalesced expvar.Int  // requests that joined an in-flight identical evaluation
 	canceled  expvar.Int  // evaluations aborted via the engine's cancel hook
@@ -87,6 +88,7 @@ func newMetrics() *metrics {
 	return &metrics{
 		requests: new(expvar.Map).Init(),
 		errors:   new(expvar.Map).Init(),
+		kernels:  new(expvar.Map).Init(),
 	}
 }
 
@@ -613,16 +615,20 @@ func (s *Server) handleChecksum(w http.ResponseWriter, r *http.Request) {
 	if len(data) == 0 && req.Text != "" {
 		data = []byte(req.Text)
 	}
-	sum, err := crchash.Checksum(req.Algorithm, data)
+	engine, err := crchash.ForAlgorithm(req.Algorithm)
 	if err != nil {
 		s.writeError(w, ep, http.StatusInternalServerError, err)
 		return
 	}
+	kernel := crchash.KindOf(engine).String()
+	s.metrics.kernels.Add(kernel, 1)
+	sum := engine.Checksum(data)
 	writeJSON(w, http.StatusOK, &ChecksumResponse{
 		Algorithm: req.Algorithm,
 		Length:    len(data),
 		Checksum:  sum,
 		Hex:       fmt.Sprintf("0x%0*x", (params.Poly.Width()+3)/4, sum),
+		Kernel:    kernel,
 	})
 }
 
@@ -640,13 +646,15 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // per-session memo costs as one JSON document.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	out := map[string]any{
-		"requests":  json.RawMessage(s.metrics.requests.String()),
-		"errors":    json.RawMessage(s.metrics.errors.String()),
-		"flights":   json.RawMessage(s.metrics.flights.String()),
-		"coalesced": json.RawMessage(s.metrics.coalesced.String()),
-		"canceled":  json.RawMessage(s.metrics.canceled.String()),
-		"streams":   json.RawMessage(s.metrics.streams.String()),
-		"pool":      s.pool.stats(),
+		"requests":         json.RawMessage(s.metrics.requests.String()),
+		"errors":           json.RawMessage(s.metrics.errors.String()),
+		"checksum_kernels": json.RawMessage(s.metrics.kernels.String()),
+		"flights":          json.RawMessage(s.metrics.flights.String()),
+		"coalesced":        json.RawMessage(s.metrics.coalesced.String()),
+		"canceled":         json.RawMessage(s.metrics.canceled.String()),
+		"streams":          json.RawMessage(s.metrics.streams.String()),
+		"pool":             s.pool.stats(),
+		"auto_profile":     crchash.AutoProfile(),
 	}
 	writeJSON(w, http.StatusOK, out)
 }

@@ -15,17 +15,27 @@ import (
 	"time"
 
 	"koopmancrc"
+	"koopmancrc/crchash"
 )
 
 // metricsSnapshot mirrors the /metrics document for test assertions.
 type metricsSnapshot struct {
 	Requests  map[string]int64 `json:"requests"`
 	Errors    map[string]int64 `json:"errors"`
+	Kernels   map[string]int64 `json:"checksum_kernels"`
 	Flights   int64            `json:"flights"`
 	Coalesced int64            `json:"coalesced"`
 	Canceled  int64            `json:"canceled"`
 	Streams   int64            `json:"streams"`
 	Pool      PoolStats        `json:"pool"`
+	Profile   struct {
+		Override string `json:"override"`
+		Kernels  []struct {
+			Kernel   string  `json:"kernel"`
+			SmallBps float64 `json:"small_bps"`
+			LargeBps float64 `json:"large_bps"`
+		} `json:"kernels"`
+	} `json:"auto_profile"`
 }
 
 func startServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
@@ -533,6 +543,21 @@ func TestEndpoints(t *testing.T) {
 	}
 	if sum.Checksum != 0xCBF43926 || sum.Hex != "0xcbf43926" || sum.Length != 9 {
 		t.Fatalf("IEEE check value: %+v", sum)
+	}
+	if _, err := crchash.ParseKind(sum.Kernel); err != nil || sum.Kernel == "auto" {
+		t.Fatalf("checksum response kernel %q is not a concrete kind", sum.Kernel)
+	}
+	m := getMetrics(t, ts)
+	if m.Kernels[sum.Kernel] == 0 {
+		t.Fatalf("checksum_kernels missing %q: %+v", sum.Kernel, m.Kernels)
+	}
+	if len(m.Profile.Kernels) == 0 {
+		t.Fatal("auto_profile absent from /metrics")
+	}
+	for _, ks := range m.Profile.Kernels {
+		if ks.LargeBps <= 0 {
+			t.Fatalf("auto_profile kernel %q has non-positive throughput", ks.Kernel)
+		}
 	}
 	var sumData ChecksumResponse
 	if code, _ := postJSON(t, ts.URL+"/v1/checksum", ChecksumRequest{

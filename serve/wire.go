@@ -237,12 +237,16 @@ type ChecksumRequest struct {
 	Text      string `json:"text,omitempty"`
 }
 
-// ChecksumResponse reports the check value in decimal and hex.
+// ChecksumResponse reports the check value in decimal and hex, plus
+// which checksum kernel actually served the request ("hardware",
+// "slicing16", ... — see crchash.Kind) so operators can confirm the
+// measured Auto selection or a CRCHASH_KIND override took effect.
 type ChecksumResponse struct {
 	Algorithm string `json:"algorithm"`
 	Length    int    `json:"length"` // payload bytes
 	Checksum  uint32 `json:"checksum"`
 	Hex       string `json:"hex"`
+	Kernel    string `json:"kernel"`
 }
 
 // AlgorithmsResponse lists the catalogued algorithm names, sorted.
