@@ -49,6 +49,23 @@ type Progress struct {
 	Probes  int64
 }
 
+// Span reports one completed engine phase of an evaluation — a boundary
+// search, a dedicated W3/W4 scan, one side of a meet-in-the-middle join,
+// or an exact weight count — with its wall duration and the probe/store
+// work it performed. Phase is one of the hamming.Span* constants
+// ("boundary", "w3_scan", "w4_scan", "mitm_store", "mitm_probe",
+// "w2_count", "w3_count", "w4_count"). Like Progress hooks, span hooks
+// run on the evaluating goroutine and must not block or call back into
+// the Analyzer.
+type Span struct {
+	Poly     Polynomial
+	Phase    string
+	Weight   int
+	DataLen  int
+	Duration time.Duration
+	Probes   int64
+}
+
 // EvalStats is a snapshot of an Analyzer's accumulated work counters.
 type EvalStats struct {
 	Probes      int64 // subset syndromes tested
@@ -74,6 +91,7 @@ type options struct {
 	maxHD    int
 	maxHDSet bool // WithMaxHD was passed explicitly
 	progress func(Progress)
+	spans    func(context.Context, Span)
 	limits   Limits
 }
 
@@ -101,6 +119,14 @@ func WithMaxHD(hd int) Option {
 // evaluations.
 func WithProgress(fn func(Progress)) Option {
 	return func(o *options) { o.progress = fn }
+}
+
+// WithSpans installs a hook receiving a Span as each engine phase of an
+// evaluation completes. The context is the one passed to the Analyzer
+// method that triggered the phase (carrying, e.g., a request ID), so
+// spans can be attributed to the caller that paid for the work.
+func WithSpans(fn func(ctx context.Context, s Span)) Option {
+	return func(o *options) { o.spans = fn }
 }
 
 // WithLimits overrides the engine resource budgets; zero fields keep
@@ -208,6 +234,25 @@ func (a *Analyzer) evaluatorLocked() (*hamming.Evaluator, error) {
 		p := a.p
 		hopts = append(hopts, hamming.WithProgress(func(ev hamming.Event) {
 			fn(Progress{Poly: p, Weight: ev.Weight, DataLen: ev.DataLen, Probes: ev.Probes})
+		}))
+	}
+	if fn := a.opt.spans; fn != nil {
+		p := a.p
+		hopts = append(hopts, hamming.WithSpanHook(func(ev hamming.SpanEvent) {
+			// a.ctx is the in-flight call's context (sem held while the
+			// engine runs), letting spans carry the caller's request ID.
+			ctx := a.ctx
+			if ctx == nil {
+				ctx = context.Background()
+			}
+			fn(ctx, Span{
+				Poly:     p,
+				Phase:    ev.Phase,
+				Weight:   ev.Weight,
+				DataLen:  ev.DataLen,
+				Duration: ev.Duration,
+				Probes:   ev.Probes,
+			})
 		}))
 	}
 	a.ev = hamming.New(a.p, hopts...)

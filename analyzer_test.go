@@ -338,3 +338,42 @@ func TestSelectValidation(t *testing.T) {
 		t.Error("zero-value polynomial should error, not panic")
 	}
 }
+
+// TestAnalyzerSpans checks the span hook fires per engine phase with the
+// triggering call's context attached.
+func TestAnalyzerSpans(t *testing.T) {
+	type ctxKey struct{}
+	var mu sync.Mutex
+	var spans []Span
+	var sawCtxVal bool
+	an := NewAnalyzer(IEEE8023, WithMaxHD(6), WithSpans(func(ctx context.Context, s Span) {
+		mu.Lock()
+		defer mu.Unlock()
+		spans = append(spans, s)
+		if v, _ := ctx.Value(ctxKey{}).(string); v == "rid-1" {
+			sawCtxVal = true
+		}
+	}))
+	ctx := context.WithValue(context.Background(), ctxKey{}, "rid-1")
+	if _, err := an.Evaluate(ctx, 300); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(spans) == 0 {
+		t.Fatal("no spans emitted")
+	}
+	if !sawCtxVal {
+		t.Error("span hook did not receive the caller's context")
+	}
+	phases := map[string]bool{}
+	for _, s := range spans {
+		if s.Poly != IEEE8023 {
+			t.Errorf("span poly %v, want IEEE8023", s.Poly)
+		}
+		phases[s.Phase] = true
+	}
+	if !phases["w3_scan"] && !phases["w4_scan"] && !phases["boundary"] {
+		t.Errorf("no scan phase spans; saw %v", phases)
+	}
+}

@@ -23,10 +23,19 @@
 //	crcsearch -mode coord -checkpoint /var/lib/crcsearch/w32 ...
 //	crcsearch -mode status -checkpoint /var/lib/crcsearch/w32
 //	crcsearch -mode coord -checkpoint /var/lib/crcsearch/w32 -resume ...
+//
+// -mode status -json emits the same report as machine-readable JSON.
+// A running coordinator can additionally serve live telemetry —
+// per-worker EWMA rates, grant sizes, lease ages, requeue counters —
+// as a Prometheus exposition:
+//
+//	crcsearch -mode coord -debug 127.0.0.1:9100 ...
+//	curl http://127.0.0.1:9100/metrics
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -69,6 +78,8 @@ func run(args []string) error {
 	resume := fs.Bool("resume", false, "resume the sweep journaled in -checkpoint (coord mode)")
 	par := fs.Int("parallelism", 0, "filter goroutines per machine, 0 = GOMAXPROCS (local and worker modes)")
 	batch := fs.Int("batch", 0, "results coalesced per gzipped send, 1 = every result its own message, 0 = default (worker mode)")
+	jsonOut := fs.Bool("json", false, "emit machine-readable JSON instead of the human report (status mode)")
+	debug := fs.String("debug", "", "read-only telemetry listener: /metrics Prometheus exposition + /healthz (coord mode; keep loopback)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -92,6 +103,7 @@ func run(args []string) error {
 			LeaseTimeout:  *lease,
 			CheckpointDir: *checkpoint,
 			Resume:        *resume,
+			DebugAddr:     *debug,
 		})
 	case "worker":
 		return runWorker(*connect, *id, *par, *batch)
@@ -99,7 +111,7 @@ func run(args []string) error {
 		if *checkpoint == "" {
 			return fmt.Errorf("-mode status requires -checkpoint")
 		}
-		return runStatus(*checkpoint)
+		return runStatus(*checkpoint, *jsonOut)
 	default:
 		return fmt.Errorf("unknown mode %q", *mode)
 	}
@@ -140,6 +152,9 @@ func runCoord(listen string, cfg dist.CoordinatorConfig) error {
 	}
 	defer c.Close()
 	fmt.Fprintf(os.Stderr, "coordinator listening on %s\n", c.Addr())
+	if da := c.DebugAddr(); da != "" {
+		fmt.Fprintf(os.Stderr, "telemetry on http://%s/metrics\n", da)
+	}
 
 	// SIGINT/SIGTERM suspend the sweep cleanly: Close disconnects the
 	// workers, flushes a final checkpoint snapshot and unblocks Wait.
@@ -210,10 +225,15 @@ func runWorker(connect, id string, par, batch int) error {
 // runStatus replays a checkpoint journal read-only and prints the sweep
 // status: job/index coverage, per-worker throughput and sizing, requeue
 // history and an ETA. It never contacts a running coordinator.
-func runStatus(checkpoint string) error {
+func runStatus(checkpoint string, jsonOut bool) error {
 	st, err := dist.ReadStatus(checkpoint)
 	if err != nil {
 		return err
+	}
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(st)
 	}
 	fmt.Printf("sweep:     width=%d hd>=%d lengths=%v\n", st.Spec.Width, st.Spec.MinHD, st.Spec.Lengths)
 	fmt.Printf("space:     %d raw indices, base job size %d\n", st.TotalIndices, st.JobSize)

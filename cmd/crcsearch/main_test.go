@@ -1,6 +1,15 @@
 package main
 
-import "testing"
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"os"
+	"testing"
+
+	"koopmancrc/internal/dist"
+)
 
 func TestParseLengths(t *testing.T) {
 	got, err := parseLengths(" 16, 64,128 ")
@@ -60,5 +69,63 @@ func TestResumeEmptyCheckpointErrors(t *testing.T) {
 	})
 	if err == nil {
 		t.Error("resuming an empty checkpoint should error")
+	}
+}
+
+func TestStatusJSON(t *testing.T) {
+	// Run a tiny checkpointed sweep to completion, then render its
+	// status as JSON and decode it back into the dist.Status shape.
+	dir := t.TempDir()
+	coord, err := dist.NewCoordinator("127.0.0.1:0", dist.CoordinatorConfig{
+		Spec:          dist.SearchSpec{Width: 8, MinHD: 4, Lengths: []int{9, 19}},
+		JobSize:       32,
+		CheckpointDir: dir,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := dist.NewWorker(coord.Addr(), dist.WorkerConfig{ID: "solo"})
+	done := make(chan error, 1)
+	go func() { _, err := w.Run(context.Background()); done <- err }()
+	if _, err := coord.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	coord.Close()
+
+	old := os.Stdout
+	r, pw, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = pw
+	statusErr := runStatus(dir, true)
+	pw.Close()
+	os.Stdout = old
+	out, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if statusErr != nil {
+		t.Fatal(statusErr)
+	}
+
+	var st dist.Status
+	if err := json.Unmarshal(out, &st); err != nil {
+		t.Fatalf("status -json is not valid JSON: %v\n%s", err, out)
+	}
+	if !st.Complete || st.TotalIndices != 128 || st.DoneIndices != 128 {
+		t.Errorf("decoded status %+v", st)
+	}
+	if len(st.Workers) != 1 || st.Workers[0].ID != "solo" || st.Workers[0].JobsDone == 0 {
+		t.Errorf("decoded workers %+v", st.Workers)
+	}
+	// The wire field names are snake_case, not Go identifiers.
+	for _, key := range []string{`"total_indices"`, `"done_jobs"`, `"jobs_done"`, `"rate"`, `"complete"`} {
+		if !bytes.Contains(out, []byte(key)) {
+			t.Errorf("JSON missing key %s:\n%s", key, out)
+		}
 	}
 }

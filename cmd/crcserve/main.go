@@ -8,11 +8,29 @@
 //	crcserve [-addr :8370] [-pool 64] [-maxlen 1048576] [-maxhd 13]
 //	         [-timeout 0] [-maxprobes 0] [-token SECRET]
 //	         [-cert server.crt -key server.key]
+//	         [-pprof 127.0.0.1:6060] [-remeasure 1h]
 //
 // -token enables bearer-token auth (constant-time comparison) on every
 // endpoint except /healthz; -cert/-key switch the listener to TLS. The
 // server shuts down gracefully on SIGINT/SIGTERM, cancelling in-flight
 // evaluations through the engines' cancellation hooks.
+//
+// -pprof starts net/http/pprof on its own listener, never on the
+// public mux: profiles expose memory contents and the endpoint has no
+// auth, so it must not share the API's address or its -token gate
+// (which would put secrets and profiler on the same trust boundary).
+// A bare port like ":6060" is rewritten to loopback; binding a
+// non-loopback host requires spelling it out explicitly, and doing so
+// is only sane behind a firewall.
+//
+// -remeasure enables the kernel-profile drift watch: every interval
+// the crchash startup micro-benchmark re-runs, the live auto-selection
+// profile is swapped atomically, and the relative per-kernel
+// throughput change is recorded in the
+// crcserve_kernel_drift_ratio{kernel} histogram (visible in
+// /metrics?format=prometheus) and logged. This catches machines whose
+// relative kernel speeds move after startup — CPU frequency policy,
+// thermal throttling, migration to a different host class.
 package main
 
 import (
@@ -21,14 +39,18 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"koopmancrc"
+	"koopmancrc/crchash"
+	"koopmancrc/internal/obs"
 	"koopmancrc/serve"
 )
 
@@ -52,11 +74,16 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	maxHD := fs.Int("maxhd", koopmancrc.DefaultMaxHD, "clamp on per-request max_hd")
 	timeout := fs.Duration("timeout", 0, "per-request evaluation deadline (0 = none)")
 	maxProbes := fs.Int64("maxprobes", 0, "ceiling on per-request probe budgets (0 = engine default)")
+	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this separate address (bare :port binds loopback; empty = off)")
+	remeasure := fs.Duration("remeasure", 0, "re-run the kernel micro-benchmark at this interval and track profile drift (0 = off)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if (*cert == "") != (*key == "") {
 		return errors.New("-cert and -key must be given together")
+	}
+	if *remeasure != 0 && *remeasure < time.Second {
+		return errors.New("-remeasure interval must be at least 1s")
 	}
 
 	srv := serve.New(serve.Config{
@@ -68,6 +95,22 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		Limits:    koopmancrc.Limits{MaxProbes: *maxProbes},
 	})
 	defer srv.Close()
+
+	if *pprofAddr != "" {
+		pln, err := listenPprof(*pprofAddr)
+		if err != nil {
+			return fmt.Errorf("pprof: %w", err)
+		}
+		defer pln.Close()
+		fmt.Fprintf(out, "crcserve pprof on http://%s/debug/pprof/ (unauthenticated; keep loopback or firewalled)\n", pln.Addr())
+		go servePprof(pln)
+	}
+
+	if *remeasure != 0 {
+		wctx, wcancel := context.WithCancel(ctx)
+		defer wcancel()
+		go driftWatch(wctx, srv, *remeasure)
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -111,4 +154,91 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	}
 	fmt.Fprintln(out, "crcserve stopped")
 	return nil
+}
+
+// listenPprof opens the profiler's own listener. A bare ":port" (or an
+// empty host) is rewritten to loopback so the unauthenticated debug
+// surface never lands on all interfaces by accident; exposing it wider
+// takes an explicit non-loopback host in the flag.
+func listenPprof(addr string) (net.Listener, error) {
+	host, port, err := net.SplitHostPort(addr)
+	if err != nil {
+		return nil, err
+	}
+	if host == "" {
+		addr = net.JoinHostPort("127.0.0.1", port)
+	}
+	return net.Listen("tcp", addr)
+}
+
+// servePprof runs net/http/pprof on its own mux and server — the
+// handlers are registered explicitly rather than through the package's
+// DefaultServeMux side effect, so nothing can ever mount them on the
+// public API mux.
+func servePprof(ln net.Listener) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+	_ = srv.Serve(ln) // closes with the listener on shutdown
+}
+
+// driftWatch periodically re-runs the crchash kernel micro-benchmark,
+// atomically swaps the live auto-selection profile, and records how far
+// each kernel's measured large-payload throughput moved relative to the
+// previous profile.
+func driftWatch(ctx context.Context, srv *serve.Server, interval time.Duration) {
+	reg := srv.Registry()
+	drift := reg.NewHistogramVec("crcserve_kernel_drift_ratio",
+		"Relative large-payload throughput change |cur-prev|/prev per kernel at each remeasurement.",
+		obs.ExpBuckets(1e-4, 4, 12), "kernel")
+	runs := reg.NewCounter("crcserve_remeasure_runs_total",
+		"Completed kernel-profile remeasurements.")
+
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+		prev, cur := crchash.Remeasure()
+		runs.Inc()
+		prevBps := make(map[string]float64, len(prev.Kernels))
+		for _, ks := range prev.Kernels {
+			prevBps[ks.Kernel] = ks.LargeBps
+		}
+		var maxDrift float64
+		var maxKernel string
+		for _, ks := range cur.Kernels {
+			p := prevBps[ks.Kernel]
+			if p <= 0 {
+				continue
+			}
+			d := (ks.LargeBps - p) / p
+			if d < 0 {
+				d = -d
+			}
+			drift.With(ks.Kernel).Observe(d)
+			if d > maxDrift {
+				maxDrift, maxKernel = d, ks.Kernel
+			}
+		}
+		slog.Info("kernel profile remeasured",
+			"interval", interval,
+			"max_drift", maxDrift,
+			"max_drift_kernel", maxKernel,
+			"fastest", fastestKernel(cur))
+	}
+}
+
+func fastestKernel(r crchash.AutoReport) string {
+	if len(r.Kernels) == 0 {
+		return ""
+	}
+	return r.Kernels[0].Kernel
 }

@@ -184,3 +184,95 @@ func selfSigned(t *testing.T) (certFile, keyFile string, pool *x509.CertPool) {
 	pool.AppendCertsFromPEM(certPEM)
 	return certFile, keyFile, pool
 }
+
+var pprofRe = regexp.MustCompile(`pprof on (http://\S+/debug/pprof/)`)
+
+func TestServePprofSeparateListener(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	out := &syncBuffer{}
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{"-addr", "127.0.0.1:0", "-pprof", ":0"}, out)
+	}()
+	defer func() {
+		cancel()
+		if err := <-done; err != nil {
+			t.Errorf("shutdown returned %v", err)
+		}
+	}()
+
+	var apiURL, pprofURL string
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		s := out.String()
+		if m := addrRe.FindStringSubmatch(s); m != nil {
+			apiURL = m[1] + "://" + m[2]
+		}
+		if m := pprofRe.FindStringSubmatch(s); m != nil {
+			pprofURL = m[1]
+		}
+		if apiURL != "" && pprofURL != "" {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if apiURL == "" || pprofURL == "" {
+		t.Fatalf("missing listen lines in output %q", out.String())
+	}
+	// The bare :0 must have been pinned to loopback.
+	if !regexp.MustCompile(`http://127\.0\.0\.1:\d+/`).MatchString(pprofURL) {
+		t.Fatalf("pprof bound to %q, want loopback", pprofURL)
+	}
+
+	resp, err := http.Get(pprofURL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !bytes.Contains(body, []byte("goroutine")) {
+		t.Fatalf("pprof index: %d %q", resp.StatusCode, body[:min(len(body), 120)])
+	}
+
+	// The profiler must NOT be reachable through the public API mux.
+	resp, err = http.Get(apiURL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Fatal("pprof handlers leaked onto the public mux")
+	}
+}
+
+func TestServeRemeasureDrift(t *testing.T) {
+	url, stop := startServe(t, "-remeasure", "1s")
+	defer stop()
+
+	// Within a few intervals the drift histogram and run counter must
+	// appear in the exposition with at least one completed remeasure.
+	deadline := time.Now().Add(20 * time.Second)
+	ran := regexp.MustCompile(`crcserve_remeasure_runs_total ([1-9]\d*)`)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(url + "/metrics?format=prometheus")
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if ran.Match(body) {
+			if !bytes.Contains(body, []byte(`crcserve_kernel_drift_ratio_bucket{kernel="slicing16"`)) {
+				t.Fatalf("drift run recorded but no per-kernel histogram:\n%s", body)
+			}
+			return
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+	t.Fatal("no remeasure run recorded within deadline")
+}
+
+func TestServeRemeasureIntervalValidation(t *testing.T) {
+	if err := run(context.Background(), []string{"-remeasure", "10ms"}, io.Discard); err == nil {
+		t.Error("sub-second -remeasure should error")
+	}
+}

@@ -1,0 +1,45 @@
+// Command promcheck validates Prometheus text exposition (version
+// 0.0.4) read from a file or stdin: HELP/TYPE grammar, label escaping,
+// duplicate series, and histogram coherence (cumulative buckets, +Inf
+// matching _count). It exists so CI can assert that a live /metrics
+// scrape is well-formed without depending on a Prometheus binary.
+//
+//	crcserve -addr :8370 &
+//	curl -s 'http://127.0.0.1:8370/metrics?format=prometheus' | promcheck
+//	promcheck scrape.txt
+//
+// Exit status is 0 for a valid document, 1 with a diagnostic on stderr
+// otherwise.
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"koopmancrc/internal/obs"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "promcheck:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	var in io.Reader = os.Stdin
+	switch len(args) {
+	case 0:
+	case 1:
+		f, err := os.Open(args[0])
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	default:
+		return fmt.Errorf("usage: promcheck [file]")
+	}
+	return obs.CheckExposition(in)
+}

@@ -1,0 +1,38 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+const goodDoc = `# HELP demo_total A counter.
+# TYPE demo_total counter
+demo_total{path="/x"} 3
+`
+
+func TestRunFile(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "good.txt")
+	if err := os.WriteFile(good, []byte(goodDoc), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{good}); err != nil {
+		t.Errorf("valid document rejected: %v", err)
+	}
+
+	bad := filepath.Join(dir, "bad.txt")
+	if err := os.WriteFile(bad, []byte("demo_total{path=\"\\t\"} 3\n"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{bad}); err == nil {
+		t.Error("illegal label escape accepted")
+	}
+
+	if err := run([]string{good, bad}); err == nil {
+		t.Error("two args should be a usage error")
+	}
+	if err := run([]string{filepath.Join(dir, "missing.txt")}); err == nil {
+		t.Error("missing file should error")
+	}
+}

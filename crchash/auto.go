@@ -4,6 +4,7 @@ import (
 	"os"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"koopmancrc/internal/crc"
@@ -57,12 +58,19 @@ const (
 	autoBudget = 1200 * time.Microsecond
 )
 
-var autoState struct {
-	once     sync.Once
+// autoProfileState is one immutable measurement outcome. The live
+// profile is swapped atomically so Remeasure can replace it under
+// concurrent AutoKind/AutoProfile readers.
+type autoProfileState struct {
 	report   AutoReport
 	byName   map[string]*KernelSpeed
 	overKind Kind
 	overSet  bool
+}
+
+var autoState struct {
+	once sync.Once
+	cur  atomic.Pointer[autoProfileState]
 }
 
 // genericPoly is a non-catalogued generator used to measure the code
@@ -91,7 +99,8 @@ func measureBps(e Engine, data []byte, budget time.Duration) float64 {
 	return float64(done) / elapsed.Seconds()
 }
 
-func autoMeasure() {
+func autoMeasure() *autoProfileState {
+	st := &autoProfileState{}
 	small := make([]byte, autoSmallPayload)
 	large := make([]byte, autoLargePayload)
 	// Deterministic non-trivial fill; the kernels are data-oblivious,
@@ -125,7 +134,7 @@ func autoMeasure() {
 		{"hardware[other]", Hardware, func() (Engine, error) { return crc.NewHardware(generic) }},
 	}
 
-	autoState.byName = make(map[string]*KernelSpeed, len(rows))
+	st.byName = make(map[string]*KernelSpeed, len(rows))
 	for _, row := range rows {
 		e, err := row.build()
 		if err != nil {
@@ -137,42 +146,69 @@ func autoMeasure() {
 			SmallBps: measureBps(e, small, autoBudget),
 			LargeBps: measureBps(e, large, autoBudget),
 		}
-		autoState.report.Kernels = append(autoState.report.Kernels, ks)
+		st.report.Kernels = append(st.report.Kernels, ks)
 	}
-	sort.SliceStable(autoState.report.Kernels, func(i, j int) bool {
-		return autoState.report.Kernels[i].LargeBps > autoState.report.Kernels[j].LargeBps
+	sort.SliceStable(st.report.Kernels, func(i, j int) bool {
+		return st.report.Kernels[i].LargeBps > st.report.Kernels[j].LargeBps
 	})
-	for i := range autoState.report.Kernels {
-		ks := &autoState.report.Kernels[i]
-		autoState.byName[ks.Kernel] = ks
+	for i := range st.report.Kernels {
+		ks := &st.report.Kernels[i]
+		st.byName[ks.Kernel] = ks
 	}
 
 	if v := os.Getenv("CRCHASH_KIND"); v != "" {
 		if k, err := ParseKind(v); err == nil && k != Auto {
-			autoState.overKind, autoState.overSet = k, true
-			autoState.report.Override = v
+			st.overKind, st.overSet = k, true
+			st.report.Override = v
 		}
 	}
+	return st
 }
 
-func autoProfile() *AutoReport {
-	autoState.once.Do(autoMeasure)
-	return &autoState.report
+// currentProfile returns the live measurement, running the startup
+// benchmark on first use.
+func currentProfile() *autoProfileState {
+	autoState.once.Do(func() { autoState.cur.Store(autoMeasure()) })
+	return autoState.cur.Load()
 }
 
-// AutoProfile runs (once) and returns the startup micro-benchmark:
-// every measured kernel variant with its small- and large-payload
-// throughput, fastest first, plus any active CRCHASH_KIND override.
-func AutoProfile() AutoReport {
-	r := autoProfile()
-	out := AutoReport{Override: r.Override}
-	out.Kernels = append(out.Kernels, r.Kernels...)
+// snapshotReport deep-copies a profile's report so callers never alias
+// the live rows.
+func snapshotReport(st *autoProfileState) AutoReport {
+	out := AutoReport{Override: st.report.Override}
+	out.Kernels = append(out.Kernels, st.report.Kernels...)
 	return out
 }
 
+// AutoProfile runs (once) and returns the live kernel micro-benchmark:
+// every measured kernel variant with its small- and large-payload
+// throughput, fastest first, plus any active CRCHASH_KIND override.
+// After a Remeasure this reflects the most recent measurement.
+func AutoProfile() AutoReport {
+	return snapshotReport(currentProfile())
+}
+
+// Remeasure re-runs the kernel micro-benchmark, atomically swaps the
+// live profile, and invalidates the catalogued-engine cache so future
+// ForAlgorithm builds select against the new measurement. It returns the
+// previous and new reports so callers (e.g. crcserve's drift watch) can
+// quantify the change. Engines handed out before the swap keep working —
+// they are correct under any profile, just possibly no longer the
+// fastest choice.
+func Remeasure() (prev, cur AutoReport) {
+	prevSt := currentProfile()
+	curSt := autoMeasure()
+	autoState.cur.Store(curSt)
+	engines.Range(func(k, _ any) bool {
+		engines.Delete(k)
+		return true
+	})
+	return snapshotReport(prevSt), snapshotReport(curSt)
+}
+
 // speedFor resolves the measured row scoring kind k for parameter set
-// p, accounting for the class-dependent kernels.
-func speedFor(k Kind, p Params) *KernelSpeed {
+// p within one profile, accounting for the class-dependent kernels.
+func speedFor(st *autoProfileState, k Kind, p Params) *KernelSpeed {
 	name := k.String()
 	switch k {
 	case Hardware:
@@ -189,7 +225,7 @@ func speedFor(k Kind, p Params) *KernelSpeed {
 			name = "chorba[generic]"
 		}
 	}
-	return autoState.byName[name]
+	return st.byName[name]
 }
 
 // AutoKind reports the kind Auto builds for the parameter set: the
@@ -198,9 +234,9 @@ func speedFor(k Kind, p Params) *KernelSpeed {
 // parameter sets outside the reflected 32-bit class, the structurally
 // fastest kind — Table, then Bitwise).
 func AutoKind(p Params) Kind {
-	autoState.once.Do(autoMeasure)
-	if autoState.overSet && autoState.overKind.Admits(p) {
-		return autoState.overKind
+	st := currentProfile()
+	if st.overSet && st.overKind.Admits(p) {
+		return st.overKind
 	}
 	if !Slicing16.Admits(p) { // not reflected 32-bit: nothing to measure
 		if Table.Admits(p) {
@@ -211,7 +247,7 @@ func AutoKind(p Params) Kind {
 	best, bestBps := Slicing8, -1.0
 	// Measured candidates, fastest-expected first so ties stay stable.
 	for _, k := range []Kind{Hardware, Slicing16, Slicing8, Chorba, Table} {
-		if ks := speedFor(k, p); ks != nil && ks.LargeBps > bestBps {
+		if ks := speedFor(st, k, p); ks != nil && ks.LargeBps > bestBps {
 			best, bestBps = k, ks.LargeBps
 		}
 	}

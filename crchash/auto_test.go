@@ -12,10 +12,7 @@ import (
 // startup benchmark under a different CRCHASH_KIND.
 func resetAuto() {
 	autoState.once = sync.Once{}
-	autoState.report = AutoReport{}
-	autoState.byName = nil
-	autoState.overKind = 0
-	autoState.overSet = false
+	autoState.cur.Store(nil)
 }
 
 func TestKindStringParseRoundTrip(t *testing.T) {
@@ -207,4 +204,72 @@ func TestAutoEngineChecksumsCorrectly(t *testing.T) {
 			t.Errorf("%s: auto engine checksum %#x, want %#x", p.Name, got, want)
 		}
 	}
+}
+
+func TestRemeasureSwapsProfileAndInvalidatesCache(t *testing.T) {
+	defer resetAuto()
+	resetAuto()
+
+	e1, err := ForAlgorithm("CRC-32/IEEE-802.3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev, cur := Remeasure()
+	if len(prev.Kernels) == 0 || len(cur.Kernels) == 0 {
+		t.Fatalf("empty reports: prev %d cur %d kernels", len(prev.Kernels), len(cur.Kernels))
+	}
+	// The live profile must now be the new one (AutoProfile snapshots it).
+	live := AutoProfile()
+	if len(live.Kernels) != len(cur.Kernels) {
+		t.Fatalf("live profile has %d kernels, remeasured %d", len(live.Kernels), len(cur.Kernels))
+	}
+	for i := range live.Kernels {
+		if live.Kernels[i] != cur.Kernels[i] {
+			t.Fatalf("live profile row %d = %+v, remeasured %+v", i, live.Kernels[i], cur.Kernels[i])
+		}
+	}
+	// The catalogued-engine cache was invalidated: the next lookup builds
+	// a fresh engine (possibly the same kind) rather than returning the
+	// pre-swap instance, and both checksum identically.
+	e2, err := ForAlgorithm("CRC-32/IEEE-802.3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := []byte("123456789")
+	if a, b := e1.Checksum(data), e2.Checksum(data); a != b {
+		t.Fatalf("pre/post-remeasure engines disagree: %#x vs %#x", a, b)
+	}
+}
+
+func TestRemeasureConcurrentWithReaders(t *testing.T) {
+	defer resetAuto()
+	resetAuto()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if k := AutoKind(CRC32C); k == Auto {
+					t.Error("AutoKind returned Auto")
+					return
+				}
+				if _, err := ForAlgorithm("CRC-32C/iSCSI"); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < 3; i++ {
+		Remeasure()
+	}
+	close(stop)
+	wg.Wait()
 }

@@ -61,6 +61,13 @@ type CoordinatorConfig struct {
 	// Logf, when set, receives progress lines (assignments, requeues,
 	// sizing changes).
 	Logf func(format string, args ...any)
+	// DebugAddr, when non-empty, starts a read-only HTTP telemetry
+	// listener on that address (e.g. "127.0.0.1:0"): /metrics serves the
+	// live ledger — per-worker EWMA rates and grant sizes, lease ages,
+	// requeue and coverage counters — in Prometheus text exposition, and
+	// /healthz answers liveness probes. The listener is unauthenticated;
+	// bind it to loopback or an operator network.
+	DebugAddr string
 }
 
 // Summary is the merged outcome of a completed distributed search.
@@ -189,8 +196,9 @@ func (ws *workerStat) observeDone(canonical uint64, elapsed time.Duration) {
 // leases, journals the ledger when checkpointing is enabled and merges
 // results into a Summary.
 type Coordinator struct {
-	cfg CoordinatorConfig
-	ln  net.Listener
+	cfg     CoordinatorConfig
+	ln      net.Listener
+	debugLn net.Listener // optional telemetry listener (cfg.DebugAddr)
 
 	mu           sync.Mutex
 	jobs         []*job   // carved so far; index == job id
@@ -303,6 +311,15 @@ func NewCoordinator(addr string, cfg CoordinatorConfig) (*Coordinator, error) {
 		return nil, err
 	}
 	c.ln = ln
+	if cfg.DebugAddr != "" {
+		if err := c.startDebug(cfg.DebugAddr); err != nil {
+			ln.Close()
+			if c.jnl != nil {
+				c.jnl.Close()
+			}
+			return nil, fmt.Errorf("dist: debug listener: %w", err)
+		}
+	}
 	c.mu.Lock()
 	if c.coveredLocked() {
 		// A resumed checkpoint of a finished sweep: nothing left to
@@ -367,6 +384,9 @@ func (c *Coordinator) Close() error {
 	c.closeOnce.Do(func() {
 		close(c.closedCh)
 		c.ln.Close()
+		if c.debugLn != nil {
+			c.debugLn.Close()
+		}
 		c.mu.Lock()
 		for conn := range c.conns {
 			conn.Close()

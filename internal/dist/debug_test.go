@@ -1,0 +1,138 @@
+package dist_test
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"koopmancrc/internal/dist"
+	"koopmancrc/internal/obs"
+)
+
+// TestDebugListenerExposesLedger runs a small sweep with the telemetry
+// listener on and checks that /metrics is a valid Prometheus exposition
+// carrying the ledger — worker rates, coverage, requeue counters — and
+// that /healthz answers.
+func TestDebugListenerExposesLedger(t *testing.T) {
+	coord, err := dist.NewCoordinator("127.0.0.1:0", dist.CoordinatorConfig{
+		Spec:         smallSpec,
+		JobSize:      8,
+		LeaseTimeout: 30 * time.Second,
+		Logf:         t.Logf,
+		DebugAddr:    "127.0.0.1:0",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	base := "http://" + coord.DebugAddr()
+	if coord.DebugAddr() == "" {
+		t.Fatal("DebugAddr empty with DebugAddr configured")
+	}
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, string(body)
+	}
+
+	if code, body := get("/healthz"); code != http.StatusOK || body != "ok\n" {
+		t.Fatalf("/healthz: %d %q", code, body)
+	}
+
+	// Scrape mid-sweep concurrently with the workers to exercise the
+	// collector locking, then once more after completion for the final
+	// ledger assertions.
+	stopScrape := make(chan struct{})
+	var scrapeWG sync.WaitGroup
+	scrapeWG.Add(1)
+	go func() {
+		defer scrapeWG.Done()
+		for {
+			select {
+			case <-stopScrape:
+				return
+			default:
+			}
+			code, body := get("/metrics")
+			if code != http.StatusOK {
+				t.Errorf("/metrics: %d", code)
+				return
+			}
+			if err := obs.CheckExposition(strings.NewReader(body)); err != nil {
+				t.Errorf("mid-sweep exposition invalid: %v", err)
+				return
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for _, id := range []string{"alpha", "beta"} {
+		w := dist.NewWorker(coord.Addr(), dist.WorkerConfig{ID: id, Logf: t.Logf})
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := w.Run(context.Background()); err != nil {
+				t.Errorf("worker %s: %v", id, err)
+			}
+		}()
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	sum, err := coord.Wait(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	close(stopScrape)
+	scrapeWG.Wait()
+
+	_, body := get("/metrics")
+	if err := obs.CheckExposition(strings.NewReader(body)); err != nil {
+		t.Fatalf("final exposition invalid: %v\n%s", err, body)
+	}
+	for _, want := range []string{
+		"dist_indices_total 128",
+		"dist_indices_done 128",
+		"dist_jobs_done 16",
+		"dist_requeues_total 0",
+		`dist_worker_rate_candidates_per_second{worker="alpha"}`,
+		`dist_worker_rate_candidates_per_second{worker="beta"}`,
+		`dist_worker_jobs_done{worker=`,
+		"dist_survivors",
+		"# TYPE dist_lease_age_seconds gauge",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+	if !strings.Contains(body, "dist_canonical_total "+itoa(sum.Canonical)) {
+		t.Errorf("dist_canonical_total does not match summary %d:\n%s", sum.Canonical, body)
+	}
+}
+
+func itoa(v uint64) string {
+	if v == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(b[i:])
+}

@@ -10,30 +10,30 @@ import (
 // WorkerStatus is one worker's journal-reconstructed throughput ledger.
 type WorkerStatus struct {
 	// ID is the worker's self-reported id.
-	ID string
+	ID string `json:"id"`
 	// JobsDone is how many jobs this worker completed.
-	JobsDone int
+	JobsDone int `json:"jobs_done"`
 	// Canonical is the candidate count across those jobs.
-	Canonical uint64
+	Canonical uint64 `json:"canonical"`
 	// Compute is the summed per-job compute time the worker reported.
-	Compute time.Duration
+	Compute time.Duration `json:"compute_ns"`
 	// Rate is the coordinator's EWMA throughput estimate in canonical
 	// candidates per second, as of the newest journal record.
-	Rate float64
+	Rate float64 `json:"rate"`
 	// LastGrantSize is the worker's last journaled sizing decision in
 	// raw indices; fresh grants track it within a small drift threshold
 	// (see materialResize).
-	LastGrantSize uint64
+	LastGrantSize uint64 `json:"last_grant_size"`
 }
 
 // RequeueEvent is one journaled lease expiry.
 type RequeueEvent struct {
 	// JobID is the job that went back to the queue.
-	JobID uint64
+	JobID uint64 `json:"job_id"`
 	// Worker held the expired lease.
-	Worker string
+	Worker string `json:"worker"`
 	// Time is when the coordinator requeued the job.
-	Time time.Time
+	Time time.Time `json:"time"`
 }
 
 // Status is the read-only view of a checkpointed sweep, reconstructed
@@ -43,47 +43,47 @@ type RequeueEvent struct {
 // coordinator would start from.
 type Status struct {
 	// Spec identifies the sweep.
-	Spec SearchSpec
+	Spec SearchSpec `json:"spec"`
 	// JobSize is the journaled base grant size in raw indices.
-	JobSize uint64
+	JobSize uint64 `json:"job_size"`
 	// TotalIndices is the raw size of the search space.
-	TotalIndices uint64
+	TotalIndices uint64 `json:"total_indices"`
 	// CarvedJobs / DoneJobs / PendingJobs count jobs the coordinator
 	// has carved, completed and still owes (carved but not done).
-	CarvedJobs  int
-	DoneJobs    int
-	PendingJobs int
+	CarvedJobs  int `json:"carved_jobs"`
+	DoneJobs    int `json:"done_jobs"`
+	PendingJobs int `json:"pending_jobs"`
 	// DoneIndices / PendingIndices / UncarvedIndices partition the
 	// space: covered by done jobs, covered by carved-but-unfinished
 	// jobs, and not yet carved at all.
-	DoneIndices     uint64
-	PendingIndices  uint64
-	UncarvedIndices uint64
+	DoneIndices     uint64 `json:"done_indices"`
+	PendingIndices  uint64 `json:"pending_indices"`
+	UncarvedIndices uint64 `json:"uncarved_indices"`
 	// Canonical counts candidates evaluated; Survivors counts
 	// polynomials that passed every filter so far.
-	Canonical uint64
-	Survivors int
+	Canonical uint64 `json:"canonical"`
+	Survivors int    `json:"survivors"`
 	// Requeues is the exact lease-expiry total; RequeueLog holds the
 	// most recent requeueLogCap events with holders and times.
-	Requeues   int
-	RequeueLog []RequeueEvent
+	Requeues   int            `json:"requeues"`
+	RequeueLog []RequeueEvent `json:"requeue_log,omitempty"`
 	// Workers lists per-worker throughput ledgers, sorted by id.
-	Workers []WorkerStatus
+	Workers []WorkerStatus `json:"workers"`
 	// Started is when the sweep first began (preserved across
 	// resumes); LastActivity is the newest journal record. Active is
 	// the span between them — journal-observed sweep time, which for a
 	// suspended sweep excludes nothing but is the best ETA base the
 	// journal alone can offer.
-	Started      time.Time
-	LastActivity time.Time
-	Active       time.Duration
+	Started      time.Time     `json:"started"`
+	LastActivity time.Time     `json:"last_activity"`
+	Active       time.Duration `json:"active_ns"`
 	// IndexRate is the sweep-wide throughput in raw indices per second
 	// over Active; ETA extrapolates it over the uncovered remainder.
 	// Both are zero when the journal holds too little to estimate.
-	IndexRate float64
-	ETA       time.Duration
+	IndexRate float64       `json:"index_rate"`
+	ETA       time.Duration `json:"eta_ns"`
 	// Complete reports whether the space is fully covered.
-	Complete bool
+	Complete bool `json:"complete"`
 }
 
 // ReadStatus replays a checkpoint directory without opening it for

@@ -3,6 +3,7 @@ package dist
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"net"
 	"os"
 	"sync/atomic"
@@ -36,6 +37,11 @@ type WorkerConfig struct {
 	ResultBatch int
 	// Logf, when set, receives per-job progress lines.
 	Logf func(format string, args ...any)
+	// Logger receives structured events — one per completed job, per
+	// heartbeat tick and per batch flush, all at Debug level — carrying
+	// the worker id, job range, live progress and held-lease counts that
+	// correlate with the coordinator's ledger. Nil means slog.Default().
+	Logger *slog.Logger
 }
 
 // DefaultResultBatch is the result coalescing factor used when
@@ -77,6 +83,9 @@ func NewWorker(addr string, cfg WorkerConfig) *Worker {
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
 	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.Default()
+	}
 	return &Worker{addr: addr, cfg: cfg}
 }
 
@@ -112,6 +121,8 @@ func (w *Worker) Run(ctx context.Context) (int, error) {
 			return nil, err
 		}
 		w.cfg.Logf("dist: worker %s: flushing %d batched results", w.cfg.ID, len(pending))
+		w.cfg.Logger.Debug("dist_batch_flush",
+			"worker", w.cfg.ID, "results", len(pending), "held_since", oldest)
 		w.batchesSent++
 		pending = pending[:0]
 		return b, nil
@@ -224,6 +235,10 @@ func (w *Worker) runJob(ctx context.Context, wr *wire, m *message, alsoRenew []u
 	}
 	w.cfg.Logf("dist: worker %s: job %d [%d,%d): %d canonical, %d survivors in %v",
 		w.cfg.ID, m.JobID, m.Start, m.End, res.Canonical, len(res.Survivors), res.Elapsed)
+	w.cfg.Logger.Debug("dist_job_done",
+		"worker", w.cfg.ID, "job", m.JobID, "start", m.Start, "end", m.End,
+		"canonical", res.Canonical, "survivors", len(res.Survivors),
+		"elapsed", res.Elapsed)
 	survivors := make([]uint64, len(res.Survivors))
 	for i, p := range res.Survivors {
 		survivors[i] = p.Koopman()
@@ -258,9 +273,12 @@ func (w *Worker) heartbeat(wr *wire, jobID uint64, lease time.Duration, progress
 		case <-stop:
 			return
 		case <-t.C:
+			p := progress.Load()
+			w.cfg.Logger.Debug("dist_heartbeat",
+				"worker", w.cfg.ID, "job", jobID, "progress", p, "held", len(alsoRenew))
 			_ = wr.send(&message{
 				Type: msgHeartbeat, Worker: w.cfg.ID, JobID: jobID,
-				Progress: progress.Load(), Held: alsoRenew,
+				Progress: p, Held: alsoRenew,
 			})
 		}
 	}

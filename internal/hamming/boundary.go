@@ -62,6 +62,7 @@ func (e *Evaluator) firstLen3(maxLen int) (int, []int, bool, error) {
 	if err := e.begin(3, maxLen); err != nil {
 		return 0, nil, false, err
 	}
+	defer e.spanStart(SpanW3Scan, 3, maxLen)()
 	n := e.codewordLen(maxLen)
 	syn := e.syndromes(n)
 	m := newU32Map(n)
@@ -91,6 +92,7 @@ func (e *Evaluator) firstLen4(maxLen int) (int, []int, bool, error) {
 	if err := e.begin(4, maxLen); err != nil {
 		return 0, nil, false, err
 	}
+	defer e.spanStart(SpanW4Scan, 4, maxLen)()
 	n := e.codewordLen(maxLen)
 	syn := e.syndromes(n)
 	m := newU32Map(n)
@@ -132,6 +134,7 @@ func (e *Evaluator) firstLen4(maxLen int) (int, []int, bool, error) {
 
 // firstLenSearch locates a w>=5 boundary with existence queries.
 func (e *Evaluator) firstLenSearch(w, maxLen int, s Strategy) (int, []int, bool, error) {
+	defer e.spanStart(SpanBoundary, w, maxLen)()
 	// lo is the largest length known to have no weight-w pattern; hi the
 	// smallest known to have one.
 	lo, hi := 0, 0

@@ -30,6 +30,7 @@ package hamming
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"koopmancrc/internal/poly"
 )
@@ -66,6 +67,35 @@ type Event struct {
 	Probes  int64 // cumulative probes across the evaluator's lifetime
 }
 
+// Span phases emitted by the evaluator's span hook, one per distinct
+// search machinery: the geometric/binary boundary search (which nests
+// meet-in-the-middle queries), the dedicated weight-3/4 incremental
+// scans, the two halves of a meet-in-the-middle join, and the exact
+// weight-counting passes.
+const (
+	SpanBoundary  = "boundary"
+	SpanW3Scan    = "w3_scan"
+	SpanW4Scan    = "w4_scan"
+	SpanMITMStore = "mitm_store"
+	SpanMITMProbe = "mitm_probe"
+	SpanW2Count   = "w2_count"
+	SpanW3Count   = "w3_count"
+	SpanW4Count   = "w4_count"
+)
+
+// SpanEvent describes one completed engine phase: which machinery ran
+// (one of the Span* constants), the weight and data-word length it was
+// working on, how long it took and how many work operations (probes +
+// store inserts) it performed. Events are emitted when the phase ends,
+// including phases cut short by cancellation or budget errors.
+type SpanEvent struct {
+	Phase    string
+	Weight   int
+	DataLen  int
+	Duration time.Duration
+	Probes   int64 // work operations attributed to this phase
+}
+
 // Stats accumulates work counters across evaluator calls, used by the
 // benchmark harness to report the effect of each of the paper's
 // optimisations.
@@ -87,6 +117,9 @@ type Options struct {
 	// Cancel, when non-nil, is polled inside long scans; returning true
 	// aborts the query with an error wrapping ErrCanceled.
 	Cancel func() bool
+	// Span, when non-nil, receives a SpanEvent as each engine phase
+	// completes.
+	Span func(SpanEvent)
 }
 
 // Option mutates evaluator options.
@@ -101,6 +134,10 @@ func WithProgress(fn func(Event)) Option { return func(o *Options) { o.Progress 
 // WithCancel installs a cancellation hook polled inside long scans (for
 // wiring context.Context into an evaluation, poll ctx.Err() != nil).
 func WithCancel(fn func() bool) Option { return func(o *Options) { o.Cancel = fn } }
+
+// WithSpanHook installs a hook receiving a SpanEvent at the end of each
+// engine phase.
+func WithSpanHook(fn func(SpanEvent)) Option { return func(o *Options) { o.Span = fn } }
 
 // WithMaxPairBuffer bounds the exact weight-4 pair buffer (entries).
 func WithMaxPairBuffer(n int) Option { return func(o *Options) { o.MaxPairBuffer = n } }
@@ -162,6 +199,31 @@ func (e *Evaluator) tick(w, dataLen int, ops int64) error {
 	}
 	e.tickOps = 0
 	return e.begin(w, dataLen)
+}
+
+// noopSpanEnd is the shared do-nothing span terminator, so uninstrumented
+// evaluations pay one nil check and no allocation per phase.
+var noopSpanEnd = func() {}
+
+// spanStart opens an engine phase and returns the function that closes
+// it, capturing wall time and the work-counter delta (probes + store
+// inserts) between the two calls. Callers either defer the result or
+// invoke it explicitly on every exit path.
+func (e *Evaluator) spanStart(phase string, w, dataLen int) func() {
+	if e.opts.Span == nil {
+		return noopSpanEnd
+	}
+	t0 := time.Now()
+	w0 := e.Stats.Probes + e.Stats.StoreOps
+	return func() {
+		e.opts.Span(SpanEvent{
+			Phase:    phase,
+			Weight:   w,
+			DataLen:  dataLen,
+			Duration: time.Since(t0),
+			Probes:   e.Stats.Probes + e.Stats.StoreOps - w0,
+		})
+	}
 }
 
 // New returns an evaluator for the polynomial.

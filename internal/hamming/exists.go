@@ -68,12 +68,17 @@ func (e *Evaluator) meetInMiddle(w, n int) ([]int, bool, error) {
 	} else {
 		set = bitmapSet(e.bitset())
 	}
+	endStore := e.spanStart(SpanMITMStore, w, n-e.width)
 	if err := e.enumStore(syn, n, w, p, set); err != nil {
+		endStore()
 		return nil, false, err
 	}
 	e.Stats.StoreOps += storeCount
+	endStore()
 
+	endProbe := e.spanStart(SpanMITMProbe, w, n-e.width)
 	witness, found, err := e.probe(syn, n, w, p, q, set)
+	endProbe()
 	if err != nil {
 		return nil, false, err
 	}

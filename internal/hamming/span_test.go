@@ -1,0 +1,56 @@
+package hamming
+
+import (
+	"testing"
+
+	"koopmancrc/internal/poly"
+)
+
+// TestSpanHookPhases drives the three search machineries and checks each
+// emits its span with sane duration and work accounting.
+func TestSpanHookPhases(t *testing.T) {
+	var events []SpanEvent
+	e := New(poly.IEEE8023, WithSpanHook(func(s SpanEvent) {
+		events = append(events, s)
+	}))
+
+	if _, _, _, err := e.FirstDataLen(4, 200); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := e.FirstDataLen(6, 80); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Weight(3, 64); err != nil {
+		t.Fatal(err)
+	}
+
+	got := map[string]int{}
+	for _, ev := range events {
+		got[ev.Phase]++
+		if ev.Duration < 0 {
+			t.Errorf("%s: negative duration %v", ev.Phase, ev.Duration)
+		}
+		if ev.Probes < 0 {
+			t.Errorf("%s: negative probe delta %d", ev.Phase, ev.Probes)
+		}
+	}
+	for _, phase := range []string{SpanW4Scan, SpanBoundary, SpanMITMStore, SpanMITMProbe, SpanW3Count} {
+		if got[phase] == 0 {
+			t.Errorf("no %s span emitted; phases seen: %v", phase, got)
+		}
+	}
+	// The boundary search nests meet-in-the-middle queries, so store and
+	// probe spans must outnumber (or equal) the single boundary span.
+	if got[SpanMITMStore] < got[SpanBoundary] {
+		t.Errorf("mitm_store spans (%d) < boundary spans (%d)", got[SpanMITMStore], got[SpanBoundary])
+	}
+}
+
+// TestSpanHookOff checks the uninstrumented path still works and that an
+// evaluation with no hook emits nothing (guarding the nil fast path).
+func TestSpanHookOff(t *testing.T) {
+	e := New(poly.IEEE8023)
+	if _, _, _, err := e.FirstDataLen(4, 100); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -40,6 +40,7 @@ func (e *Evaluator) weight2(dataLen int) (uint64, error) {
 	if err := e.begin(2, dataLen); err != nil {
 		return 0, err
 	}
+	defer e.spanStart(SpanW2Count, 2, dataLen)()
 	var total uint64
 	for k := uint64(1); k*period <= n-1; k++ {
 		total += n - k*period
@@ -62,6 +63,7 @@ func (e *Evaluator) weight3(dataLen int) (uint64, error) {
 	if err := e.begin(3, dataLen); err != nil {
 		return 0, err
 	}
+	defer e.spanStart(SpanW3Count, 3, dataLen)()
 	syn := e.syndromes(n)
 	counts := newU32Count(n)
 	var total uint64
@@ -98,6 +100,7 @@ func (e *Evaluator) weight4(dataLen int) (uint64, error) {
 	if err := e.begin(4, dataLen); err != nil {
 		return 0, err
 	}
+	defer e.spanStart(SpanW4Count, 4, dataLen)()
 	syn := e.syndromes(n)
 	buf := make([]uint32, pairs)
 	idx := 0

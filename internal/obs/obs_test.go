@@ -1,0 +1,232 @@
+package obs
+
+import (
+	"context"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestHistogramBucketEdges pins the edge semantics of the log-bucketed
+// histogram: zero and sub-resolution values land in the first bucket,
+// a value exactly on a bound counts into that bound's bucket (le is
+// inclusive), and overflow values appear only in +Inf.
+func TestHistogramBucketEdges(t *testing.T) {
+	h := newHistogram([]float64{1, 10, 100})
+	h.Observe(0)      // below every bound
+	h.Observe(1e-9)   // sub-resolution
+	h.Observe(1)      // exactly on a bound: le="1" is inclusive
+	h.Observe(10.0)   // exactly on the middle bound
+	h.Observe(99.999) // inside the last finite bucket
+	h.Observe(100.01) // overflow: only +Inf
+	h.Observe(1e300)  // extreme overflow
+
+	cum, count, sum := h.snapshot()
+	if count != 7 {
+		t.Fatalf("count = %d, want 7", count)
+	}
+	want := []int64{3, 4, 5} // cumulative per finite bound
+	for i, w := range want {
+		if cum[i] != w {
+			t.Errorf("cumulative[le=%v] = %d, want %d", h.bounds[i], cum[i], w)
+		}
+	}
+	wantSum := 0.0 + 1e-9 + 1 + 10 + 99.999 + 100.01 + 1e300
+	if math.Abs(sum-wantSum) > wantSum*1e-12 {
+		t.Errorf("sum = %g, want %g", sum, wantSum)
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	b := ExpBuckets(1e-6, 2, 4)
+	want := []float64{1e-6, 2e-6, 4e-6, 8e-6}
+	for i := range want {
+		if math.Abs(b[i]-want[i]) > 1e-18 {
+			t.Fatalf("bucket %d = %v, want %v", i, b[i], want[i])
+		}
+	}
+	if len(LatencyBuckets()) == 0 || len(WorkBuckets()) == 0 {
+		t.Fatal("default bucket sets empty")
+	}
+}
+
+// TestConcurrentObserveVsExpose races observers against scrapers; run
+// under -race this is the lock-cheap hot path's safety proof.
+func TestConcurrentObserveVsExpose(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogramVec("test_latency_seconds", "test", LatencyBuckets(), "endpoint")
+	c := r.NewCounterVec("test_requests_total", "test", "endpoint", "code")
+	r.NewGaugeFunc("test_live", "test", func() float64 { return 1 })
+	r.NewGaugeCollector("test_workers", "test", []string{"id"}, func(emit func([]string, float64)) {
+		emit([]string{"w1"}, 2)
+	})
+
+	const writers = 8
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ep := []string{"/a", "/b"}[i%2]
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				h.With(ep).Observe(float64(i) * 1e-5)
+				c.With(ep, "200").Inc()
+			}
+		}(i)
+	}
+	for i := 0; i < 50; i++ {
+		var b strings.Builder
+		if err := r.WritePrometheus(&b); err != nil {
+			t.Fatal(err)
+		}
+		if err := CheckExposition(strings.NewReader(b.String())); err != nil {
+			t.Fatalf("mid-race exposition invalid: %v\n%s", err, b.String())
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestExpositionEscaping routes hostile label values through the writer
+// and proves the checker (a strict format parser) both accepts the
+// output and decodes the values back intact.
+func TestExpositionEscaping(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounterVec("escapes_total", `help with \backslash and
+newline`, "val")
+	hostile := []string{
+		`plain`,
+		`back\slash`,
+		`dou"ble`,
+		"new\nline",
+		`all\"of` + "\nthem",
+		`utf8 héllo ⚡`,
+		``,
+	}
+	for _, v := range hostile {
+		c.With(v).Add(1)
+	}
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if err := CheckExposition(strings.NewReader(out)); err != nil {
+		t.Fatalf("escaped exposition rejected: %v\n%s", err, out)
+	}
+	// Decode every sample line back and collect the label values.
+	got := map[string]bool{}
+	for _, line := range strings.Split(out, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		s, err := parseSample(line)
+		if err != nil {
+			t.Fatalf("parse %q: %v", line, err)
+		}
+		for _, l := range s.labels {
+			got[l[1]] = true
+		}
+	}
+	for _, v := range hostile {
+		if v != "" && !got[v] {
+			t.Errorf("label value %q did not round-trip; output:\n%s", v, out)
+		}
+	}
+}
+
+func TestRegistryFullDocumentValidates(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("plain_total", "plain counter")
+	h := r.NewHistogram("phase_seconds", "phase latency", LatencyBuckets())
+	h.Observe(0.002)
+	h.Observe(3)
+	hv := r.NewHistogramVec("labeled_seconds", "labeled latency", []float64{0.1, 1}, "phase")
+	hv.With("w4_scan").Observe(0.5)
+	hv.With("mitm_probe").Observe(2) // overflow → only +Inf
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckExposition(strings.NewReader(b.String())); err != nil {
+		t.Fatalf("document invalid: %v\n%s", err, b.String())
+	}
+	for _, want := range []string{
+		"# TYPE phase_seconds histogram",
+		`phase_seconds_bucket{le="+Inf"} 2`,
+		`labeled_seconds_bucket{phase="mitm_probe",le="+Inf"} 1`,
+		`labeled_seconds_count{phase="w4_scan"} 1`,
+	} {
+		if !strings.Contains(b.String(), want) {
+			t.Errorf("missing %q in:\n%s", want, b.String())
+		}
+	}
+}
+
+// TestCheckerRejects drives the validator with documents a real scraper
+// would reject.
+func TestCheckerRejects(t *testing.T) {
+	bad := map[string]string{
+		"bad metric name":    "0bad 1\n",
+		"bad value":          "m xyz\n",
+		"bad escape":         "m{l=\"a\\t\"} 1\n",
+		"unterminated label": "m{l=\"a} 1\n",
+		"duplicate series":   "m{a=\"1\"} 1\nm{a=\"1\"} 2\n",
+		"unknown type":       "# TYPE m wat\nm 1\n",
+		"no +Inf bucket":     "# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_count 1\nh_sum 1\n",
+		"decreasing buckets": "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\nh_count 5\nh_sum 1\n",
+		"inf != count":       "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 4\nh_count 5\nh_sum 1\n",
+		"unparseable le":     "# TYPE h histogram\nh_bucket{le=\"wat\"} 4\nh_count 4\nh_sum 1\n",
+	}
+	for name, doc := range bad {
+		if err := CheckExposition(strings.NewReader(doc)); err == nil {
+			t.Errorf("%s: accepted:\n%s", name, doc)
+		}
+	}
+	good := "# HELP ok fine\n# TYPE ok counter\nok 1\nuntyped_thing{a=\"b\"} 2 1712345678\n"
+	if err := CheckExposition(strings.NewReader(good)); err != nil {
+		t.Errorf("valid document rejected: %v", err)
+	}
+}
+
+func TestRequestID(t *testing.T) {
+	a, b := NewRequestID(), NewRequestID()
+	if len(a) != 16 || a == b {
+		t.Fatalf("ids %q %q: want 16 hex chars, distinct", a, b)
+	}
+	ctx := WithRequestID(context.Background(), a)
+	if got := RequestID(ctx); got != a {
+		t.Fatalf("RequestID = %q, want %q", got, a)
+	}
+	if RequestID(context.Background()) != "" {
+		t.Fatal("empty context should carry no id")
+	}
+	if WithRequestID(context.Background(), "") != context.Background() {
+		t.Fatal("empty id should not allocate a context")
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := newHistogram(LatencyBuckets())
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			h.Observe(0.00042)
+		}
+	})
+}
+
+func BenchmarkCounterVecWith(b *testing.B) {
+	var v CounterVec
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			v.With("/v1/evaluate", "200").Inc()
+		}
+	})
+}

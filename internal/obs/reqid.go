@@ -1,0 +1,57 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	"sync/atomic"
+)
+
+// ridKey is the context key request IDs travel under. An unexported
+// struct type, so no other package can collide with it.
+type ridKey struct{}
+
+// ridSeq is the minting state: a random 64-bit base drawn once at
+// startup, incremented per ID. Request IDs are correlation handles, not
+// secrets — they appear in response headers and log lines — so they
+// need uniqueness within a deployment's retention window, not
+// unpredictability, and one atomic add keeps the mint off the
+// measurable part of the request path (crypto/rand per call costs more
+// than the rest of the per-request instrumentation combined).
+var ridSeq atomic.Uint64
+
+func init() {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err == nil {
+		ridSeq.Store(binary.BigEndian.Uint64(b[:]))
+	}
+	// On the (effectively impossible) error path IDs count up from zero:
+	// still unique per process, which is all correlation needs.
+}
+
+// NewRequestID mints a 16-hex-character request ID, unique per process
+// and starting from a random 64-bit base.
+func NewRequestID() string {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], ridSeq.Add(1))
+	return hex.EncodeToString(b[:])
+}
+
+// WithRequestID returns a context carrying the request ID. Empty ids
+// return ctx unchanged.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	if id == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, ridKey{}, id)
+}
+
+// RequestID returns the context's request ID, or "" when none is set.
+func RequestID(ctx context.Context) string {
+	if ctx == nil {
+		return ""
+	}
+	id, _ := ctx.Value(ridKey{}).(string)
+	return id
+}

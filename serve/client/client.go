@@ -16,15 +16,22 @@ import (
 	"koopmancrc/serve"
 )
 
-// APIError is a non-2xx reply from the server, carrying the HTTP status
-// and the server's error message.
+// APIError is a non-2xx reply from the server, carrying the HTTP status,
+// the server's error message and the request ID (from the error body or
+// the X-Request-ID response header) that locates the failure in the
+// server's logs.
 type APIError struct {
 	StatusCode int
 	Message    string
+	RequestID  string
 }
 
 func (e *APIError) Error() string {
-	return fmt.Sprintf("crcserve: %d %s: %s", e.StatusCode, http.StatusText(e.StatusCode), e.Message)
+	msg := fmt.Sprintf("crcserve: %d %s: %s", e.StatusCode, http.StatusText(e.StatusCode), e.Message)
+	if e.RequestID != "" {
+		msg += " (request " + e.RequestID + ")"
+	}
+	return msg
 }
 
 // Client talks to one crcserve instance. The zero value is not usable;
@@ -94,10 +101,13 @@ func (c *Client) prepare(req *http.Request, hasBody bool) {
 }
 
 func decodeError(resp *http.Response) error {
-	apiErr := &APIError{StatusCode: resp.StatusCode}
+	apiErr := &APIError{StatusCode: resp.StatusCode, RequestID: resp.Header.Get("X-Request-ID")}
 	var er serve.ErrorResponse
 	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&er); err == nil && er.Error != "" {
 		apiErr.Message = er.Error
+		if er.RequestID != "" {
+			apiErr.RequestID = er.RequestID
+		}
 	} else {
 		apiErr.Message = "(no error body)"
 	}
@@ -171,7 +181,11 @@ func (c *Client) EvaluateStream(ctx context.Context, req serve.EvaluateRequest, 
 				if err := json.Unmarshal(payload.Bytes(), &er); err != nil {
 					return nil, fmt.Errorf("crcserve: bad error event: %w", err)
 				}
-				return nil, &APIError{StatusCode: http.StatusOK, Message: er.Error}
+				rid := er.RequestID
+				if rid == "" {
+					rid = resp.Header.Get("X-Request-ID")
+				}
+				return nil, &APIError{StatusCode: http.StatusOK, Message: er.Error, RequestID: rid}
 			}
 			event = ""
 			payload.Reset()

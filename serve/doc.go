@@ -12,7 +12,31 @@
 //	POST /v1/checksum    CRC of a payload under a catalogued algorithm
 //	GET  /v1/algorithms  catalogued algorithm names
 //	GET  /healthz        liveness (always unauthenticated)
-//	GET  /metrics        request/pool counters, expvar-style JSON
+//	GET  /metrics        request/pool counters, expvar-style JSON;
+//	                     ?format=prometheus (or Accept: text/plain) selects
+//	                     the Prometheus text exposition: per-endpoint
+//	                     latency histograms, request outcomes, engine
+//	                     probe-phase histograms, flight/pool gauges
+//
+// # Observability
+//
+// Every response carries an X-Request-ID header — echoed from the
+// request when the client supplied one, minted otherwise — and every
+// error body repeats it as request_id, so a client-side failure can be
+// matched to the server's structured debug log (Config.Logger). The ID
+// travels by context through the session pool and singleflight group
+// into the engine's span hook: each evaluation phase (boundary, w3_scan,
+// w4_scan, mitm_store, mitm_probe, w2..w4_count) is logged with its
+// duration and probe count and recorded in the
+// crcserve_engine_phase_seconds / crcserve_engine_phase_probes
+// histograms. A coalesced flight is attributed to the request that
+// started it.
+//
+// The crcserve binary adds -pprof (net/http/pprof on a separate,
+// default-loopback listener, never this mux) and -remeasure (periodic
+// kernel-profile drift watch registered on Server.Registry); the dist
+// coordinator's DebugAddr serves its live ledger in the same exposition
+// format. cmd/promcheck validates any scrape offline.
 //
 // # Sessions, coalescing, cancellation
 //

@@ -3,6 +3,8 @@ package serve
 import (
 	"context"
 	"sync"
+
+	"koopmancrc/internal/obs"
 )
 
 // flight is one in-progress coalesced call. Waiters are counted so the
@@ -44,7 +46,11 @@ func (g *flightGroup) do(ctx, base context.Context, key string, onJoin func(), f
 			onJoin()
 		}
 	} else {
-		fctx, cancel := context.WithCancel(base)
+		// The flight runs detached from any single caller, but it carries
+		// the request ID of the caller that started it, so engine spans
+		// remain attributable to the request that paid for the work.
+		// (Joiners keep their own IDs only in their own response paths.)
+		fctx, cancel := context.WithCancel(obs.WithRequestID(base, obs.RequestID(ctx)))
 		f = &flight{done: make(chan struct{}), waiters: 1, cancel: cancel}
 		g.m[key] = f
 		go func() {

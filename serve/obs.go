@@ -1,0 +1,195 @@
+package serve
+
+import (
+	"context"
+	"log/slog"
+	"net/http"
+	"strconv"
+	"time"
+
+	"koopmancrc"
+	"koopmancrc/internal/obs"
+)
+
+// serverObs bundles the server's obs-based instrumentation: per-endpoint
+// request latency and outcome counters, per-phase engine histograms, and
+// gauge views over the expvar counters and the session pool. It is the
+// Prometheus-format sibling of the expvar metrics struct — the JSON
+// /metrics document is untouched, this adds the exposition the ROADMAP's
+// fleet tooling scrapes.
+type serverObs struct {
+	registry *obs.Registry
+
+	reqSeconds *obs.HistogramVec // request wall time by endpoint
+	requests   *obs.CounterVec   // completions by endpoint and status code
+
+	phaseSeconds *obs.HistogramVec // engine phase wall time by phase
+	phaseProbes  *obs.HistogramVec // engine phase work ops by phase
+}
+
+func newServerObs(s *Server) *serverObs {
+	r := obs.NewRegistry()
+	o := &serverObs{
+		registry: r,
+		reqSeconds: r.NewHistogramVec("crcserve_request_duration_seconds",
+			"Request wall time by endpoint.", obs.LatencyBuckets(), "endpoint"),
+		requests: r.NewCounterVec("crcserve_requests_total",
+			"Completed requests by endpoint and HTTP status code.", "endpoint", "code"),
+		phaseSeconds: r.NewHistogramVec("crcserve_engine_phase_seconds",
+			"Engine probe-phase wall time (boundary, w3_scan, w4_scan, mitm_store, mitm_probe, w2..w4_count).",
+			obs.LatencyBuckets(), "phase"),
+		phaseProbes: r.NewHistogramVec("crcserve_engine_phase_probes",
+			"Engine probe-phase work operations (probes + store inserts).",
+			obs.WorkBuckets(), "phase"),
+	}
+	r.NewGaugeFunc("crcserve_flights",
+		"Evaluations actually started on an engine.", func() float64 { return float64(s.metrics.flights.Value()) })
+	r.NewGaugeFunc("crcserve_coalesced_requests",
+		"Requests that joined an in-flight identical evaluation.", func() float64 { return float64(s.metrics.coalesced.Value()) })
+	r.NewGaugeFunc("crcserve_canceled_evaluations",
+		"Evaluations aborted via the engine's cancel hook.", func() float64 { return float64(s.metrics.canceled.Value()) })
+	r.NewGaugeFunc("crcserve_streams",
+		"SSE streams served.", func() float64 { return float64(s.metrics.streams.Value()) })
+	r.NewGaugeFunc("crcserve_pool_sessions",
+		"Live Analyzer sessions in the pool.", func() float64 { n, _, _, _ := s.pool.counts(); return float64(n) })
+	r.NewGaugeFunc("crcserve_pool_hits",
+		"Session pool hits.", func() float64 { _, h, _, _ := s.pool.counts(); return float64(h) })
+	r.NewGaugeFunc("crcserve_pool_misses",
+		"Session pool misses.", func() float64 { _, _, m, _ := s.pool.counts(); return float64(m) })
+	r.NewGaugeFunc("crcserve_pool_evictions",
+		"Session pool evictions.", func() float64 { _, _, _, e := s.pool.counts(); return float64(e) })
+	r.NewGaugeCollector("crcserve_pool_session_probes",
+		"Engine probes spent by each live session.", []string{"poly", "width", "max_hd"},
+		func(emit func([]string, float64)) {
+			for _, si := range s.pool.stats().Detail {
+				emit([]string{si.Poly, strconv.Itoa(si.Width), strconv.Itoa(si.MaxHD)}, float64(si.Probes))
+			}
+		})
+	return o
+}
+
+// endpointLabel bounds the endpoint label cardinality to the mux's known
+// paths; anything else (404 probes, scanners) collapses to "other".
+func endpointLabel(path string) string {
+	switch path {
+	case "/v1/evaluate", "/v1/hd", "/v1/maxlen", "/v1/select",
+		"/v1/checksum", "/v1/algorithms", "/healthz", "/metrics":
+		return path
+	}
+	return "other"
+}
+
+// statusWriter captures the response status for the request metrics and
+// log line. Flush is forwarded so SSE streaming still works through the
+// wrapper (streamEvaluate type-asserts http.Flusher).
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// requestID extracts a usable client-supplied request ID, or mints one.
+// Client values are length-capped and restricted to printable ASCII so
+// hostile IDs cannot smuggle header/log structure.
+func requestID(r *http.Request) string {
+	id := r.Header.Get("X-Request-ID")
+	if id == "" || len(id) > 64 {
+		return obs.NewRequestID()
+	}
+	for i := 0; i < len(id); i++ {
+		if id[i] < 0x21 || id[i] > 0x7e {
+			return obs.NewRequestID()
+		}
+	}
+	return id
+}
+
+// observe records a completed request in the histograms, counters and
+// the structured log.
+func (s *Server) observe(r *http.Request, status int, rid string, elapsed time.Duration) {
+	ep := endpointLabel(r.URL.Path)
+	s.obs.reqSeconds.With(ep).Observe(elapsed.Seconds())
+	s.obs.requests.With(ep, statusLabel(status)).Inc()
+	// Building slog attrs boxes each one even when debug logging is off;
+	// the explicit Enabled gate keeps the disabled-path cost at a few
+	// nanoseconds so per-request instrumentation stays under its budget.
+	if !s.logger.Enabled(r.Context(), slog.LevelDebug) {
+		return
+	}
+	s.logger.Debug("request",
+		slog.String("request_id", rid),
+		slog.String("method", r.Method),
+		slog.String("path", r.URL.Path),
+		slog.Int("status", status),
+		slog.Duration("elapsed", elapsed),
+	)
+}
+
+// observeSpan is the session pool's span sink: every engine phase of
+// every evaluation lands in the per-phase histograms and, at debug
+// level, the structured log with the request ID of the caller that paid
+// for the work.
+func (s *Server) observeSpan(ctx context.Context, sp koopmancrc.Span) {
+	s.obs.phaseSeconds.With(sp.Phase).Observe(sp.Duration.Seconds())
+	s.obs.phaseProbes.With(sp.Phase).Observe(float64(sp.Probes))
+	if !s.logger.Enabled(ctx, slog.LevelDebug) {
+		return
+	}
+	s.logger.Debug("engine_phase",
+		slog.String("request_id", obs.RequestID(ctx)),
+		slog.String("poly", hexStr(sp.Poly.In(koopmancrc.Koopman))),
+		slog.String("phase", sp.Phase),
+		slog.Int("weight", sp.Weight),
+		slog.Int("data_len", sp.DataLen),
+		slog.Duration("elapsed", sp.Duration),
+		slog.Int64("probes", sp.Probes),
+	)
+}
+
+// Registry exposes the server's obs registry so the embedding binary can
+// register process-level metrics (e.g. crcserve's auto-profile drift
+// histogram) onto the same /metrics exposition.
+func (s *Server) Registry() *obs.Registry { return s.obs.registry }
+
+// statusLabel formats an HTTP status for the code label without
+// allocating for the codes a healthy server actually returns.
+func statusLabel(status int) string {
+	switch status {
+	case http.StatusOK:
+		return "200"
+	case http.StatusBadRequest:
+		return "400"
+	case http.StatusUnauthorized:
+		return "401"
+	case http.StatusNotFound:
+		return "404"
+	case http.StatusMethodNotAllowed:
+		return "405"
+	case http.StatusRequestEntityTooLarge:
+		return "413"
+	case http.StatusInternalServerError:
+		return "500"
+	case http.StatusGatewayTimeout:
+		return "504"
+	}
+	return strconv.Itoa(status)
+}

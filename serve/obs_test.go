@@ -1,0 +1,169 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"koopmancrc/internal/obs"
+)
+
+// TestRequestIDEchoAndMint pins the X-Request-ID contract: a sane
+// client-supplied ID is echoed, a missing or hostile one is replaced,
+// and error bodies repeat the ID.
+func TestRequestIDEchoAndMint(t *testing.T) {
+	s := New(Config{})
+	defer s.Close()
+
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest("GET", "/healthz", nil)
+	req.Header.Set("X-Request-ID", "client-id-42")
+	s.ServeHTTP(rec, req)
+	if got := rec.Header().Get("X-Request-ID"); got != "client-id-42" {
+		t.Errorf("echo: X-Request-ID = %q, want client-id-42", got)
+	}
+
+	rec = httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	minted := rec.Header().Get("X-Request-ID")
+	if len(minted) != 16 {
+		t.Errorf("mint: X-Request-ID = %q, want 16 hex chars", minted)
+	}
+
+	for _, hostile := range []string{"a\nb", "id with space", strings.Repeat("x", 65)} {
+		rec = httptest.NewRecorder()
+		req = httptest.NewRequest("GET", "/healthz", nil)
+		req.Header.Set("X-Request-ID", hostile)
+		s.ServeHTTP(rec, req)
+		if got := rec.Header().Get("X-Request-ID"); got == hostile {
+			t.Errorf("hostile ID %q echoed verbatim", hostile)
+		}
+	}
+
+	// Error bodies carry the request ID.
+	rec = httptest.NewRecorder()
+	req = httptest.NewRequest("POST", "/v1/hd", strings.NewReader(`{"poly":"not-a-poly"}`))
+	req.Header.Set("X-Request-ID", "err-req-1")
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", rec.Code)
+	}
+	var er ErrorResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &er); err != nil {
+		t.Fatal(err)
+	}
+	if er.RequestID != "err-req-1" {
+		t.Errorf("error body request_id = %q, want err-req-1", er.RequestID)
+	}
+}
+
+// TestMetricsPrometheusFormat drives a real evaluation through the
+// server and checks the Prometheus exposition contains the latency and
+// engine-phase series the acceptance criteria name, validated by the
+// pure-Go format checker.
+func TestMetricsPrometheusFormat(t *testing.T) {
+	s := New(Config{})
+	defer s.Close()
+
+	// 32-bit 802.3 at a short length: w3/w4 scans run and find nothing
+	// within 128 bits, so the w>=5 boundary searches (and their nested
+	// meet-in-the-middle store/probe phases) also run — every span phase
+	// fires, all in milliseconds.
+	body := `{"poly":"0x82608edb","width":32,"max_len":128,"max_hd":6}`
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest("POST", "/v1/evaluate", strings.NewReader(body)))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("evaluate: %d %s", rec.Code, rec.Body.String())
+	}
+
+	// Default stays JSON.
+	rec = httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "application/json") {
+		t.Errorf("default /metrics Content-Type = %q", ct)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &doc); err != nil {
+		t.Fatalf("default /metrics not JSON: %v", err)
+	}
+
+	check := func(name string, r *http.Request) string {
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, r)
+		if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+			t.Errorf("%s: Content-Type = %q", name, ct)
+		}
+		out := rec.Body.String()
+		if err := obs.CheckExposition(strings.NewReader(out)); err != nil {
+			t.Errorf("%s: invalid exposition: %v", name, err)
+		}
+		return out
+	}
+
+	out := check("format=prometheus", httptest.NewRequest("GET", "/metrics?format=prometheus", nil))
+	for _, want := range []string{
+		`crcserve_request_duration_seconds_bucket{endpoint="/v1/evaluate",le="+Inf"} 1`,
+		`crcserve_requests_total{endpoint="/v1/evaluate",code="200"} 1`,
+		"# TYPE crcserve_engine_phase_seconds histogram",
+		`phase="w3_scan"`,
+		`phase="boundary"`,
+		"crcserve_engine_phase_probes",
+		`phase="mitm_store"`,
+		`phase="mitm_probe"`,
+		"crcserve_pool_sessions 1",
+		"crcserve_flights 1",
+		`crcserve_pool_session_probes{poly="0x82608edb",width="32",max_hd="6"}`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+
+	// Accept negotiation selects the same exposition.
+	req := httptest.NewRequest("GET", "/metrics", nil)
+	req.Header.Set("Accept", "text/plain")
+	check("accept text/plain", req)
+}
+
+// BenchmarkWarmEvaluate measures the full warm-request path — ServeHTTP
+// middleware, request-ID handling, session-memo hit, response encoding,
+// metrics observation — for comparison with
+// BenchmarkRequestInstrumentation: the instrumentation share of a warm
+// request must stay under 2%.
+func BenchmarkWarmEvaluate(b *testing.B) {
+	s := New(Config{})
+	defer s.Close()
+	body := `{"poly":"0x82608edb","width":32,"max_len":128,"max_hd":6}`
+	warm := httptest.NewRecorder()
+	s.ServeHTTP(warm, httptest.NewRequest("POST", "/v1/evaluate", strings.NewReader(body)))
+	if warm.Code != http.StatusOK {
+		b.Fatalf("prime: %d %s", warm.Code, warm.Body.String())
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, httptest.NewRequest("POST", "/v1/evaluate", strings.NewReader(body)))
+		if rec.Code != http.StatusOK {
+			b.Fatal(rec.Code)
+		}
+	}
+}
+
+// BenchmarkRequestInstrumentation isolates what the observability layer
+// adds to every request: the histogram/counter observation plus the
+// request-ID mint the middleware performs.
+func BenchmarkRequestInstrumentation(b *testing.B) {
+	s := New(Config{})
+	defer s.Close()
+	r := httptest.NewRequest("POST", "/v1/evaluate", nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rid := obs.NewRequestID()
+		s.observe(r, http.StatusOK, rid, 50*time.Microsecond)
+	}
+}

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"container/list"
+	"context"
 	"sync"
 
 	"koopmancrc"
@@ -34,13 +35,17 @@ type session struct {
 	next int
 }
 
-func newSession(p koopmancrc.Polynomial, maxHD int, limits koopmancrc.Limits) *session {
+func newSession(p koopmancrc.Polynomial, maxHD int, limits koopmancrc.Limits, spans func(context.Context, koopmancrc.Span)) *session {
 	s := &session{poly: p, subs: make(map[int]chan koopmancrc.Progress)}
-	s.an = koopmancrc.NewAnalyzer(p,
+	opts := []koopmancrc.Option{
 		koopmancrc.WithMaxHD(maxHD),
 		koopmancrc.WithLimits(limits),
 		koopmancrc.WithProgress(s.dispatch),
-	)
+	}
+	if spans != nil {
+		opts = append(opts, koopmancrc.WithSpans(spans))
+	}
+	s.an = koopmancrc.NewAnalyzer(p, opts...)
 	return s
 }
 
@@ -87,6 +92,11 @@ type poolEntry struct {
 // torn down — requests already holding it simply finish and let it be
 // collected — the pool just stops handing it to new requests.
 type pool struct {
+	// spans, when non-nil, is installed as the span hook of every session
+	// the pool creates, fanning engine phase telemetry into the server's
+	// per-phase histograms. Set before the first get.
+	spans func(context.Context, koopmancrc.Span)
+
 	mu        sync.Mutex
 	cap       int
 	seq       int64      // session id generator
@@ -125,11 +135,19 @@ func (p *pool) get(poly koopmancrc.Polynomial, maxHD int, limits koopmancrc.Limi
 		delete(p.byKey, back.Value.(*poolEntry).key)
 		p.evictions++
 	}
-	sess = newSession(poly, maxHD, limits)
+	sess = newSession(poly, maxHD, limits, p.spans)
 	p.seq++
 	sess.id = p.seq
 	p.byKey[key] = p.order.PushFront(&poolEntry{key: key, sess: sess})
 	return sess, false
+}
+
+// counts returns the pool's scalar gauges without building the full
+// per-session stats document.
+func (p *pool) counts() (sessions int, hits, misses, evictions int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.order.Len(), p.hits, p.misses, p.evictions
 }
 
 // PoolStats aggregates the pool's live state for /metrics.

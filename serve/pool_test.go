@@ -42,7 +42,7 @@ func TestPoolKeysAndLRU(t *testing.T) {
 }
 
 func TestSessionFanout(t *testing.T) {
-	sess := newSession(koopmancrc.MustPolynomial(8, koopmancrc.Koopman, "0x83"), 6, koopmancrc.Limits{})
+	sess := newSession(koopmancrc.MustPolynomial(8, koopmancrc.Koopman, "0x83"), 6, koopmancrc.Limits{}, nil)
 	id1, ch1 := sess.subscribe(8)
 	_, ch2 := sess.subscribe(8)
 	if _, err := sess.an.Evaluate(context.Background(), 64); err != nil {

@@ -8,12 +8,14 @@ import (
 	"errors"
 	"expvar"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"strings"
 	"time"
 
 	"koopmancrc"
 	"koopmancrc/crchash"
+	"koopmancrc/internal/obs"
 )
 
 // Config tunes a Server. The zero value serves with sensible defaults
@@ -45,6 +47,9 @@ type Config struct {
 	// lower a budget below the ceiling but never raise it. Zero fields
 	// leave the engine defaults as the only bound.
 	Limits koopmancrc.Limits
+	// Logger receives structured request and engine-phase events at
+	// debug level (default slog.Default()).
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -100,6 +105,8 @@ type Server struct {
 	pool    *pool
 	flights flightGroup
 	metrics *metrics
+	obs     *serverObs
+	logger  *slog.Logger
 	mux     *http.ServeMux
 
 	// base parents every coalesced evaluation; Close cancels it so
@@ -119,7 +126,13 @@ func New(cfg Config) *Server {
 		base:    base,
 		cancel:  cancel,
 	}
+	s.logger = s.cfg.Logger
+	if s.logger == nil {
+		s.logger = slog.Default()
+	}
 	s.pool = newPool(s.cfg.PoolSize)
+	s.pool.spans = s.observeSpan
+	s.obs = newServerObs(s)
 	s.mux.HandleFunc("POST /v1/evaluate", s.handleEvaluate)
 	s.mux.HandleFunc("POST /v1/hd", s.handleHD)
 	s.mux.HandleFunc("POST /v1/maxlen", s.handleMaxLen)
@@ -144,17 +157,33 @@ func tokenEqual(got, want string) bool {
 }
 
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	// Request-ID middleware: echo (or mint) the ID on every response,
+	// carry it via context through pool → flight → engine span hooks, and
+	// record the completed request in the latency/outcome metrics.
+	rid := requestID(r)
+	w.Header().Set("X-Request-ID", rid)
+	r = r.WithContext(obs.WithRequestID(r.Context(), rid))
+	sw := &statusWriter{ResponseWriter: w}
+	start := time.Now()
+	defer func() {
+		status := sw.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		s.observe(r, status, rid, time.Since(start))
+	}()
+
 	if s.cfg.Token != "" && r.URL.Path != "/healthz" {
 		got, ok := strings.CutPrefix(r.Header.Get("Authorization"), "Bearer ")
 		if !ok || !tokenEqual(got, s.cfg.Token) {
-			w.Header().Set("WWW-Authenticate", `Bearer realm="crcserve"`)
+			sw.Header().Set("WWW-Authenticate", `Bearer realm="crcserve"`)
 			// Fixed counter key: keying by request path would let
 			// unauthenticated scanners grow the errors map unboundedly.
-			s.writeError(w, "auth", http.StatusUnauthorized, errors.New("missing or invalid bearer token"))
+			s.writeError(sw, r, "auth", http.StatusUnauthorized, errors.New("missing or invalid bearer token"))
 			return
 		}
 	}
-	s.mux.ServeHTTP(w, r)
+	s.mux.ServeHTTP(sw, r)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -163,9 +192,9 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-func (s *Server) writeError(w http.ResponseWriter, endpoint string, status int, err error) {
+func (s *Server) writeError(w http.ResponseWriter, r *http.Request, endpoint string, status int, err error) {
 	s.metrics.errors.Add(endpoint, 1)
-	writeJSON(w, status, ErrorResponse{Error: err.Error()})
+	writeJSON(w, status, ErrorResponse{Error: err.Error(), RequestID: obs.RequestID(r.Context())})
 }
 
 // statusFor maps evaluation errors onto HTTP statuses.
@@ -263,26 +292,26 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 	s.metrics.requests.Add(ep, 1)
 	var req EvaluateRequest
 	if err := s.decode(w, r, &req); err != nil {
-		s.writeError(w, ep, http.StatusBadRequest, err)
+		s.writeError(w, r, ep, http.StatusBadRequest, err)
 		return
 	}
 	p, err := req.Polynomial()
 	if err != nil {
-		s.writeError(w, ep, http.StatusBadRequest, err)
+		s.writeError(w, r, ep, http.StatusBadRequest, err)
 		return
 	}
 	maxHD, err := s.clampMaxHD(req.MaxHD)
 	if err != nil {
-		s.writeError(w, ep, http.StatusBadRequest, err)
+		s.writeError(w, r, ep, http.StatusBadRequest, err)
 		return
 	}
 	maxLen, err := s.clampLen("max_len", req.MaxLen)
 	if err != nil {
-		s.writeError(w, ep, http.StatusBadRequest, err)
+		s.writeError(w, r, ep, http.StatusBadRequest, err)
 		return
 	}
 	if len(req.Weights) > s.cfg.MaxWeightLens {
-		s.writeError(w, ep, http.StatusBadRequest,
+		s.writeError(w, r, ep, http.StatusBadRequest,
 			fmt.Errorf("weights: %d lengths exceed the cap of %d", len(req.Weights), s.cfg.MaxWeightLens))
 		return
 	}
@@ -293,7 +322,7 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 	for i, l := range req.Weights {
 		cl, err := s.clampLen("weights", l)
 		if err != nil {
-			s.writeError(w, ep, http.StatusBadRequest, err)
+			s.writeError(w, r, ep, http.StatusBadRequest, err)
 			return
 		}
 		weights[i] = cl
@@ -322,7 +351,7 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 	}
 	v, err := s.evaluation(ctx, key, run)
 	if err != nil {
-		s.writeError(w, ep, statusFor(err), err)
+		s.writeError(w, r, ep, statusFor(err), err)
 		return
 	}
 	writeJSON(w, http.StatusOK, v)
@@ -359,7 +388,10 @@ func (s *Server) streamEvaluate(w http.ResponseWriter, ctx context.Context, sess
 	const ep = "/v1/evaluate"
 	fl, ok := w.(http.Flusher)
 	if !ok {
-		s.writeError(w, ep, http.StatusInternalServerError, errors.New("streaming unsupported by connection"))
+		s.metrics.errors.Add(ep, 1)
+		writeJSON(w, http.StatusInternalServerError, ErrorResponse{
+			Error: "streaming unsupported by connection", RequestID: obs.RequestID(ctx),
+		})
 		return
 	}
 	s.metrics.streams.Add(1)
@@ -403,7 +435,7 @@ func (s *Server) streamEvaluate(w http.ResponseWriter, ctx context.Context, sess
 		}
 		if res.err != nil {
 			s.metrics.errors.Add(ep, 1)
-			writeSSE(w, "error", ErrorResponse{Error: res.err.Error()})
+			writeSSE(w, "error", ErrorResponse{Error: res.err.Error(), RequestID: obs.RequestID(ctx)})
 		} else {
 			writeSSE(w, "result", res.v)
 		}
@@ -435,22 +467,22 @@ func (s *Server) handleHD(w http.ResponseWriter, r *http.Request) {
 	s.metrics.requests.Add(ep, 1)
 	var req HDRequest
 	if err := s.decode(w, r, &req); err != nil {
-		s.writeError(w, ep, http.StatusBadRequest, err)
+		s.writeError(w, r, ep, http.StatusBadRequest, err)
 		return
 	}
 	p, err := req.Polynomial()
 	if err != nil {
-		s.writeError(w, ep, http.StatusBadRequest, err)
+		s.writeError(w, r, ep, http.StatusBadRequest, err)
 		return
 	}
 	maxHD, err := s.clampMaxHD(req.MaxHD)
 	if err != nil {
-		s.writeError(w, ep, http.StatusBadRequest, err)
+		s.writeError(w, r, ep, http.StatusBadRequest, err)
 		return
 	}
 	dataLen, err := s.clampLen("data_len", req.DataLen)
 	if err != nil {
-		s.writeError(w, ep, http.StatusBadRequest, err)
+		s.writeError(w, r, ep, http.StatusBadRequest, err)
 		return
 	}
 	limits := s.clampLimits(req.Limits)
@@ -469,7 +501,7 @@ func (s *Server) handleHD(w http.ResponseWriter, r *http.Request) {
 		}, nil
 	})
 	if err != nil {
-		s.writeError(w, ep, statusFor(err), err)
+		s.writeError(w, r, ep, statusFor(err), err)
 		return
 	}
 	writeJSON(w, http.StatusOK, v)
@@ -480,28 +512,28 @@ func (s *Server) handleMaxLen(w http.ResponseWriter, r *http.Request) {
 	s.metrics.requests.Add(ep, 1)
 	var req MaxLenRequest
 	if err := s.decode(w, r, &req); err != nil {
-		s.writeError(w, ep, http.StatusBadRequest, err)
+		s.writeError(w, r, ep, http.StatusBadRequest, err)
 		return
 	}
 	p, err := req.Polynomial()
 	if err != nil {
-		s.writeError(w, ep, http.StatusBadRequest, err)
+		s.writeError(w, r, ep, http.StatusBadRequest, err)
 		return
 	}
 	if req.HD < 2 {
-		s.writeError(w, ep, http.StatusBadRequest, fmt.Errorf("hd %d: need at least 2", req.HD))
+		s.writeError(w, r, ep, http.StatusBadRequest, fmt.Errorf("hd %d: need at least 2", req.HD))
 		return
 	}
 	horizon, err := s.clampLen("horizon", req.Horizon)
 	if err != nil {
-		s.writeError(w, ep, http.StatusBadRequest, err)
+		s.writeError(w, r, ep, http.StatusBadRequest, err)
 		return
 	}
 	// The session must classify up to hd-1 to answer; derive its depth
 	// from the question rather than the default.
 	maxHD := min(max(req.HD, s.cfg.DefaultMaxHD), s.cfg.MaxHDCap)
 	if req.HD-1 > s.cfg.MaxHDCap {
-		s.writeError(w, ep, http.StatusBadRequest,
+		s.writeError(w, r, ep, http.StatusBadRequest,
 			fmt.Errorf("hd %d exceeds the server's classification cap of %d", req.HD, s.cfg.MaxHDCap))
 		return
 	}
@@ -521,7 +553,7 @@ func (s *Server) handleMaxLen(w http.ResponseWriter, r *http.Request) {
 		}, nil
 	})
 	if err != nil {
-		s.writeError(w, ep, statusFor(err), err)
+		s.writeError(w, r, ep, statusFor(err), err)
 		return
 	}
 	writeJSON(w, http.StatusOK, v)
@@ -532,26 +564,26 @@ func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 	s.metrics.requests.Add(ep, 1)
 	var req SelectRequest
 	if err := s.decode(w, r, &req); err != nil {
-		s.writeError(w, ep, http.StatusBadRequest, err)
+		s.writeError(w, r, ep, http.StatusBadRequest, err)
 		return
 	}
 	if len(req.Candidates) == 0 {
-		s.writeError(w, ep, http.StatusBadRequest, errors.New("no candidates"))
+		s.writeError(w, r, ep, http.StatusBadRequest, errors.New("no candidates"))
 		return
 	}
 	if len(req.Candidates) > s.cfg.MaxCandidates {
-		s.writeError(w, ep, http.StatusBadRequest,
+		s.writeError(w, r, ep, http.StatusBadRequest,
 			fmt.Errorf("%d candidates exceed the cap of %d", len(req.Candidates), s.cfg.MaxCandidates))
 		return
 	}
 	maxHD, err := s.clampMaxHD(req.MaxHD)
 	if err != nil {
-		s.writeError(w, ep, http.StatusBadRequest, err)
+		s.writeError(w, r, ep, http.StatusBadRequest, err)
 		return
 	}
 	dataLen, err := s.clampLen("data_len", req.DataLen)
 	if err != nil {
-		s.writeError(w, ep, http.StatusBadRequest, err)
+		s.writeError(w, r, ep, http.StatusBadRequest, err)
 		return
 	}
 	limits := s.clampLimits(req.Limits)
@@ -560,7 +592,7 @@ func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 	for i, ref := range req.Candidates {
 		p, err := ref.Polynomial()
 		if err != nil {
-			s.writeError(w, ep, http.StatusBadRequest, fmt.Errorf("candidate %d: %w", i, err))
+			s.writeError(w, r, ep, http.StatusBadRequest, fmt.Errorf("candidate %d: %w", i, err))
 			return
 		}
 		sess, _ := s.pool.get(p, maxHD, limits)
@@ -588,7 +620,7 @@ func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 		return resp, nil
 	})
 	if err != nil {
-		s.writeError(w, ep, statusFor(err), err)
+		s.writeError(w, r, ep, statusFor(err), err)
 		return
 	}
 	writeJSON(w, http.StatusOK, v)
@@ -599,16 +631,16 @@ func (s *Server) handleChecksum(w http.ResponseWriter, r *http.Request) {
 	s.metrics.requests.Add(ep, 1)
 	var req ChecksumRequest
 	if err := s.decode(w, r, &req); err != nil {
-		s.writeError(w, ep, http.StatusBadRequest, err)
+		s.writeError(w, r, ep, http.StatusBadRequest, err)
 		return
 	}
 	if req.Algorithm == "" {
-		s.writeError(w, ep, http.StatusBadRequest, errors.New("missing algorithm"))
+		s.writeError(w, r, ep, http.StatusBadRequest, errors.New("missing algorithm"))
 		return
 	}
 	params, err := crchash.Lookup(req.Algorithm)
 	if err != nil {
-		s.writeError(w, ep, http.StatusNotFound, err)
+		s.writeError(w, r, ep, http.StatusNotFound, err)
 		return
 	}
 	data := req.Data
@@ -617,7 +649,7 @@ func (s *Server) handleChecksum(w http.ResponseWriter, r *http.Request) {
 	}
 	engine, err := crchash.ForAlgorithm(req.Algorithm)
 	if err != nil {
-		s.writeError(w, ep, http.StatusInternalServerError, err)
+		s.writeError(w, r, ep, http.StatusInternalServerError, err)
 		return
 	}
 	kernel := crchash.KindOf(engine).String()
@@ -642,9 +674,33 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
+// wantsPrometheus decides the /metrics format: an explicit ?format=
+// parameter wins, otherwise an Accept header preferring text/plain over
+// JSON selects the Prometheus text exposition. The default stays the
+// historical JSON document.
+func wantsPrometheus(r *http.Request) bool {
+	switch r.URL.Query().Get("format") {
+	case "prometheus":
+		return true
+	case "json":
+		return false
+	}
+	accept := r.Header.Get("Accept")
+	return strings.Contains(accept, "text/plain") && !strings.Contains(accept, "application/json")
+}
+
 // handleMetrics renders the expvar counters and the session pool's
-// per-session memo costs as one JSON document.
+// per-session memo costs as one JSON document — or, with
+// ?format=prometheus (or an Accept header preferring text/plain), the
+// obs registry in Prometheus text exposition format.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if wantsPrometheus(r) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := s.obs.registry.WritePrometheus(w); err != nil {
+			s.logger.Debug("metrics exposition write failed", slog.String("error", err.Error()))
+		}
+		return
+	}
 	out := map[string]any{
 		"requests":         json.RawMessage(s.metrics.requests.String()),
 		"errors":           json.RawMessage(s.metrics.errors.String()),

@@ -263,7 +263,10 @@ type ProgressEvent struct {
 }
 
 // ErrorResponse is the body of every non-2xx JSON reply (and the SSE
-// "error" event of a failed stream).
+// "error" event of a failed stream). RequestID matches the response's
+// X-Request-ID header, so a failure seen by a client can be located in
+// the server's structured logs.
 type ErrorResponse struct {
-	Error string `json:"error"`
+	Error     string `json:"error"`
+	RequestID string `json:"request_id,omitempty"`
 }
