@@ -19,10 +19,13 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
 	"runtime"
 	"sort"
@@ -30,6 +33,8 @@ import (
 	"time"
 
 	"koopmancrc/crchash"
+	"koopmancrc/serve"
+	"koopmancrc/serve/client"
 )
 
 // Report is the artifact schema: host identification, the measured
@@ -48,6 +53,27 @@ type Report struct {
 	// AutoProfile is the startup micro-benchmark that drove the choice.
 	AutoProfile crchash.AutoReport `json:"auto_profile"`
 	Results     []Result           `json:"results"`
+	// Serve, when present (-serve), measures the serving layer's batch
+	// amortization: many small checksums in one /v1/checksum/batch round
+	// trip versus the same checksums as sequential /v1/checksum calls.
+	Serve *ServeBench `json:"serve,omitempty"`
+}
+
+// ServeBench is the serve-level amortization measurement: Items small
+// payloads of PayloadBytes each, pushed through an in-process crcserve
+// over a loopback TCP listener.
+type ServeBench struct {
+	Items        int `json:"items"`
+	PayloadBytes int `json:"payload_bytes"`
+	// SequentialIPS is checksum items per second issuing one
+	// /v1/checksum call per item, back to back.
+	SequentialIPS float64 `json:"sequential_ips"`
+	// BatchIPS is checksum items per second with all items in one
+	// /v1/checksum/batch round trip per request.
+	BatchIPS float64 `json:"batch_ips"`
+	// Amortization is BatchIPS / SequentialIPS — how much per-request
+	// overhead batching reclaims.
+	Amortization float64 `json:"amortization"`
 }
 
 // Host identifies the measuring machine well enough to compare
@@ -88,6 +114,7 @@ func run(args []string, out io.Writer) error {
 	kindList := fs.String("kinds", "", "comma-separated kernel kinds (default: every admissible concrete kind)")
 	sizeList := fs.String("sizes", "", "comma-separated payload sizes in bytes (default: 64B..16MiB sweep)")
 	budget := fs.Duration("budget", 50*time.Millisecond, "time budget per kernel+size measurement")
+	serveBench := fs.Bool("serve", false, "also measure serve-level batch amortization (64 small payloads batched vs sequential)")
 	validate := fs.String("validate", "", "validate an existing report file and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -159,6 +186,16 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 
+	if *serveBench {
+		sb, err := measureServe(*algorithm, *quick)
+		if err != nil {
+			return fmt.Errorf("serve bench: %w", err)
+		}
+		rep.Serve = sb
+		fmt.Fprintf(out, "serve      %3d x %4dB  sequential %9.0f items/s  batch %9.0f items/s  amortization %.1fx\n",
+			sb.Items, sb.PayloadBytes, sb.SequentialIPS, sb.BatchIPS, sb.Amortization)
+	}
+
 	enc, err := json.MarshalIndent(&rep, "", "  ")
 	if err != nil {
 		return err
@@ -216,6 +253,87 @@ func measure(e crchash.Engine, data []byte, budget time.Duration) float64 {
 		return 0
 	}
 	return float64(done) / elapsed.Seconds()
+}
+
+// measureServe stands up an in-process crcserve on a loopback listener
+// and measures the batch amortization the serving layer delivers: 64
+// distinct 64-byte payloads as sequential /v1/checksum calls versus the
+// same payloads in single /v1/checksum/batch round trips. Loopback
+// keeps the network out of the picture, so the ratio isolates exactly
+// the per-request HTTP + JSON overhead that batching amortizes.
+func measureServe(algorithm string, quick bool) (*ServeBench, error) {
+	const items, payloadBytes = 64, 64
+	budget := time.Second
+	if quick {
+		budget = 200 * time.Millisecond
+	}
+
+	srv := serve.New(serve.Config{})
+	defer srv.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	hs := &http.Server{Handler: srv, ReadHeaderTimeout: 10 * time.Second}
+	go func() { _ = hs.Serve(ln) }()
+	defer hs.Close()
+	c := client.New("http://" + ln.Addr().String())
+
+	req := serve.ChecksumBatchRequest{Items: make([]serve.ChecksumRequest, items)}
+	for i := range req.Items {
+		payload := make([]byte, payloadBytes)
+		for j := range payload {
+			payload[j] = byte(i + j)
+		}
+		req.Items[i] = serve.ChecksumRequest{Algorithm: algorithm, Data: payload}
+	}
+	ctx := context.Background()
+
+	// Warm both paths: connection establishment, engine build, the
+	// measured auto-profile.
+	if _, err := c.Checksum(ctx, algorithm, req.Items[0].Data); err != nil {
+		return nil, err
+	}
+	if _, err := c.ChecksumBatch(ctx, req); err != nil {
+		return nil, err
+	}
+
+	var seqDone int
+	start := time.Now()
+	for time.Since(start) < budget {
+		for _, item := range req.Items {
+			if _, err := c.Checksum(ctx, item.Algorithm, item.Data); err != nil {
+				return nil, err
+			}
+		}
+		seqDone += items
+	}
+	seqIPS := float64(seqDone) / time.Since(start).Seconds()
+
+	var batchDone int
+	start = time.Now()
+	for time.Since(start) < budget {
+		resp, err := c.ChecksumBatch(ctx, req)
+		if err != nil {
+			return nil, err
+		}
+		if resp.Failed != 0 {
+			return nil, fmt.Errorf("%d batch items failed", resp.Failed)
+		}
+		batchDone += items
+	}
+	batchIPS := float64(batchDone) / time.Since(start).Seconds()
+
+	if seqIPS <= 0 || batchIPS <= 0 {
+		return nil, fmt.Errorf("degenerate measurement: sequential %f, batch %f items/s", seqIPS, batchIPS)
+	}
+	return &ServeBench{
+		Items:         items,
+		PayloadBytes:  payloadBytes,
+		SequentialIPS: seqIPS,
+		BatchIPS:      batchIPS,
+		Amortization:  batchIPS / seqIPS,
+	}, nil
 }
 
 // validateReport checks a report file against the schema the sweep
@@ -277,6 +395,20 @@ func validateReport(path string, out io.Writer) error {
 			return fmt.Errorf("%s: kernel %s measured at only %d sizes, want >= 4", path, kernel, len(sizes))
 		}
 	}
-	fmt.Fprintf(out, "%s: valid (%d kernels, %d measurements)\n", path, len(sizesByKernel), len(rep.Results))
+	serveNote := ""
+	if sb := rep.Serve; sb != nil {
+		if sb.Items <= 0 || sb.PayloadBytes <= 0 {
+			return fmt.Errorf("%s: serve: non-positive items/payload %+v", path, sb)
+		}
+		if sb.SequentialIPS <= 0 || sb.BatchIPS <= 0 {
+			return fmt.Errorf("%s: serve: non-positive throughput %+v", path, sb)
+		}
+		ratio := sb.BatchIPS / sb.SequentialIPS
+		if sb.Amortization <= 0 || sb.Amortization/ratio < 0.99 || sb.Amortization/ratio > 1.01 {
+			return fmt.Errorf("%s: serve: amortization %.3f inconsistent with batch/sequential %.3f", path, sb.Amortization, ratio)
+		}
+		serveNote = fmt.Sprintf(", serve amortization %.1fx", sb.Amortization)
+	}
+	fmt.Fprintf(out, "%s: valid (%d kernels, %d measurements%s)\n", path, len(sizesByKernel), len(rep.Results), serveNote)
 	return nil
 }

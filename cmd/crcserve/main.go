@@ -7,6 +7,8 @@
 //
 //	crcserve [-addr :8370] [-pool 64] [-maxlen 1048576] [-maxhd 13]
 //	         [-timeout 0] [-maxprobes 0] [-token SECRET]
+//	         [-maxbody 1048576] [-maxbatchitems 256]
+//	         [-maxbatchbytes 16777216] [-maxstreambytes 1073741824]
 //	         [-cert server.crt -key server.key]
 //	         [-pprof 127.0.0.1:6060] [-remeasure 1h]
 //
@@ -74,6 +76,10 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	maxHD := fs.Int("maxhd", koopmancrc.DefaultMaxHD, "clamp on per-request max_hd")
 	timeout := fs.Duration("timeout", 0, "per-request evaluation deadline (0 = none)")
 	maxProbes := fs.Int64("maxprobes", 0, "ceiling on per-request probe budgets (0 = engine default)")
+	maxBody := fs.Int64("maxbody", 1<<20, "cap on JSON request bodies and per-item batch payloads (bytes)")
+	maxBatchItems := fs.Int("maxbatchitems", 256, "cap on items per /v1/checksum/batch request")
+	maxBatchBytes := fs.Int64("maxbatchbytes", 16<<20, "cap on total decoded payload bytes per /v1/checksum/batch request")
+	maxStreamBytes := fs.Int64("maxstreambytes", 1<<30, "cap on one /v1/checksum/stream body (bytes)")
 	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this separate address (bare :port binds loopback; empty = off)")
 	remeasure := fs.Duration("remeasure", 0, "re-run the kernel micro-benchmark at this interval and track profile drift (0 = off)")
 	if err := fs.Parse(args); err != nil {
@@ -87,12 +93,16 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	}
 
 	srv := serve.New(serve.Config{
-		PoolSize:  *pool,
-		MaxLenCap: *maxLen,
-		MaxHDCap:  *maxHD,
-		Timeout:   *timeout,
-		Token:     *token,
-		Limits:    koopmancrc.Limits{MaxProbes: *maxProbes},
+		PoolSize:       *pool,
+		MaxLenCap:      *maxLen,
+		MaxHDCap:       *maxHD,
+		Timeout:        *timeout,
+		Token:          *token,
+		MaxBodyBytes:   *maxBody,
+		MaxBatchItems:  *maxBatchItems,
+		MaxBatchBytes:  *maxBatchBytes,
+		MaxStreamBytes: *maxStreamBytes,
+		Limits:         koopmancrc.Limits{MaxProbes: *maxProbes},
 	})
 	defer srv.Close()
 

@@ -1,0 +1,77 @@
+package client
+
+import (
+	"context"
+	"sync"
+
+	"koopmancrc/serve"
+)
+
+// Pipeline issues checksum batches with a bounded number of concurrent
+// in-flight requests, so one process can keep the server's ingestion
+// tier saturated instead of paying a full round trip of idle wire time
+// between batches. Requests ride the client's underlying http.Client,
+// which pools keep-alive connections per host; for a deep pipeline make
+// sure its Transport.MaxIdleConnsPerHost is at least the pipeline depth
+// (or pass a tuned client via WithHTTPClient).
+//
+// A Pipeline is safe for concurrent use. Submit applies backpressure:
+// it blocks while the maximum number of batches is already in flight.
+type Pipeline struct {
+	c   *Client
+	sem chan struct{}
+	wg  sync.WaitGroup
+}
+
+// Pipeline returns a pipeline over this client issuing at most
+// maxInFlight concurrent batches (minimum 1).
+func (c *Client) Pipeline(maxInFlight int) *Pipeline {
+	if maxInFlight < 1 {
+		maxInFlight = 1
+	}
+	return &Pipeline{c: c, sem: make(chan struct{}, maxInFlight)}
+}
+
+// BatchCall is the future of one submitted batch.
+type BatchCall struct {
+	done chan struct{}
+	resp *serve.ChecksumBatchResponse
+	err  error
+}
+
+// Done is closed when the batch has completed.
+func (b *BatchCall) Done() <-chan struct{} { return b.done }
+
+// Result blocks until the batch completes and returns its outcome.
+func (b *BatchCall) Result() (*serve.ChecksumBatchResponse, error) {
+	<-b.done
+	return b.resp, b.err
+}
+
+// Submit enqueues one batch, blocking while maxInFlight batches are
+// already on the wire. The returned call completes with ctx.Err() if the
+// context is cancelled first, whether while waiting for a slot or while
+// the request is in flight.
+func (p *Pipeline) Submit(ctx context.Context, req serve.ChecksumBatchRequest) *BatchCall {
+	call := &BatchCall{done: make(chan struct{})}
+	select {
+	case p.sem <- struct{}{}:
+	case <-ctx.Done():
+		call.err = ctx.Err()
+		close(call.done)
+		return call
+	}
+	p.wg.Add(1)
+	go func() {
+		defer func() {
+			<-p.sem
+			p.wg.Done()
+			close(call.done)
+		}()
+		call.resp, call.err = p.c.ChecksumBatch(ctx, req)
+	}()
+	return call
+}
+
+// Wait blocks until every batch submitted so far has completed.
+func (p *Pipeline) Wait() { p.wg.Wait() }

@@ -25,6 +25,10 @@ type serverObs struct {
 
 	phaseSeconds *obs.HistogramVec // engine phase wall time by phase
 	phaseProbes  *obs.HistogramVec // engine phase work ops by phase
+
+	batchItems  *obs.Histogram // items per checksum batch
+	batchBytes  *obs.Histogram // total decoded payload bytes per checksum batch
+	streamBytes *obs.Histogram // body bytes per completed checksum stream
 }
 
 func newServerObs(s *Server) *serverObs {
@@ -41,6 +45,12 @@ func newServerObs(s *Server) *serverObs {
 		phaseProbes: r.NewHistogramVec("crcserve_engine_phase_probes",
 			"Engine probe-phase work operations (probes + store inserts).",
 			obs.WorkBuckets(), "phase"),
+		batchItems: r.NewHistogram("crcserve_checksum_batch_items",
+			"Items per /v1/checksum/batch request.", obs.WorkBuckets()),
+		batchBytes: r.NewHistogram("crcserve_checksum_batch_bytes",
+			"Total decoded payload bytes per /v1/checksum/batch request.", obs.WorkBuckets()),
+		streamBytes: r.NewHistogram("crcserve_checksum_stream_bytes",
+			"Body bytes digested per completed /v1/checksum/stream request.", obs.WorkBuckets()),
 	}
 	r.NewGaugeFunc("crcserve_flights",
 		"Evaluations actually started on an engine.", func() float64 { return float64(s.metrics.flights.Value()) })
@@ -73,7 +83,8 @@ func newServerObs(s *Server) *serverObs {
 func endpointLabel(path string) string {
 	switch path {
 	case "/v1/evaluate", "/v1/hd", "/v1/maxlen", "/v1/select",
-		"/v1/checksum", "/v1/algorithms", "/healthz", "/metrics":
+		"/v1/checksum", "/v1/checksum/batch", "/v1/checksum/stream",
+		"/v1/algorithms", "/healthz", "/metrics":
 		return path
 	}
 	return "other"

@@ -35,8 +35,18 @@ type Config struct {
 	// MaxWeightLens caps the exact-weight lengths of one evaluate
 	// request (default 8).
 	MaxWeightLens int
-	// MaxBodyBytes caps request bodies (default 1 MiB).
+	// MaxBodyBytes caps JSON request bodies and the per-item payload of
+	// a checksum batch (default 1 MiB).
 	MaxBodyBytes int64
+	// MaxBatchItems caps the item count of one /v1/checksum/batch
+	// request (default 256).
+	MaxBatchItems int
+	// MaxBatchBytes caps the total decoded payload bytes of one
+	// /v1/checksum/batch request; the wire body is bounded at twice this
+	// to cover base64 and JSON framing (default 16 MiB).
+	MaxBatchBytes int64
+	// MaxStreamBytes caps one /v1/checksum/stream body (default 1 GiB).
+	MaxStreamBytes int64
 	// Timeout bounds each request's evaluation, streaming included
 	// (0 = no server-side deadline).
 	Timeout time.Duration
@@ -74,19 +84,30 @@ func (c Config) withDefaults() Config {
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 1 << 20
 	}
+	if c.MaxBatchItems <= 0 {
+		c.MaxBatchItems = 256
+	}
+	if c.MaxBatchBytes <= 0 {
+		c.MaxBatchBytes = 16 << 20
+	}
+	if c.MaxStreamBytes <= 0 {
+		c.MaxStreamBytes = 1 << 30
+	}
 	return c
 }
 
 // metrics are the server's counters, expvar types kept unpublished so
 // multiple Servers can coexist in one process; /metrics renders them.
 type metrics struct {
-	requests  *expvar.Map // per-endpoint request counts
-	errors    *expvar.Map // per-endpoint non-2xx counts
-	kernels   *expvar.Map // checksums served, by kernel kind
-	flights   expvar.Int  // evaluations actually started on an engine
-	coalesced expvar.Int  // requests that joined an in-flight identical evaluation
-	canceled  expvar.Int  // evaluations aborted via the engine's cancel hook
-	streams   expvar.Int  // SSE streams served
+	requests    *expvar.Map // per-endpoint request counts
+	errors      *expvar.Map // per-endpoint non-2xx counts
+	kernels     *expvar.Map // checksums served, by kernel kind
+	flights     expvar.Int  // evaluations actually started on an engine
+	coalesced   expvar.Int  // requests that joined an in-flight identical evaluation
+	canceled    expvar.Int  // evaluations aborted via the engine's cancel hook
+	streams     expvar.Int  // SSE streams served
+	batchItems  expvar.Int  // checksum items received via /v1/checksum/batch
+	streamBytes expvar.Int  // payload bytes digested via /v1/checksum/stream
 }
 
 func newMetrics() *metrics {
@@ -138,6 +159,8 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/maxlen", s.handleMaxLen)
 	s.mux.HandleFunc("POST /v1/select", s.handleSelect)
 	s.mux.HandleFunc("POST /v1/checksum", s.handleChecksum)
+	s.mux.HandleFunc("POST /v1/checksum/batch", s.handleChecksumBatch)
+	s.mux.HandleFunc("POST /v1/checksum/stream", s.handleChecksumStream)
 	s.mux.HandleFunc("GET /v1/algorithms", s.handleAlgorithms)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -216,12 +239,33 @@ func statusFor(err error) int {
 // decode reads a JSON request body, bounded and strict about unknown
 // fields so typos fail loudly instead of silently using defaults.
 func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) error {
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	return s.decodeBounded(w, r, v, s.cfg.MaxBodyBytes)
+}
+
+// decodeBounded is decode with an explicit body bound, for endpoints
+// (checksum batches) whose legitimate bodies exceed MaxBodyBytes.
+func (s *Server) decodeBounded(w http.ResponseWriter, r *http.Request, v any, limit int64) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, limit))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			return fmt.Errorf("request body exceeds the %d-byte cap: %w", mbe.Limit, err)
+		}
 		return fmt.Errorf("bad request body: %w", err)
 	}
 	return nil
+}
+
+// decodeStatus maps a decode failure onto its HTTP status: 413 when the
+// body blew through the MaxBytesReader bound (the connection is also
+// closed — the server must not drain an unbounded body), 400 otherwise.
+func decodeStatus(err error) int {
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
 }
 
 // clampLimits resolves a request's engine budgets against the server
@@ -292,7 +336,7 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 	s.metrics.requests.Add(ep, 1)
 	var req EvaluateRequest
 	if err := s.decode(w, r, &req); err != nil {
-		s.writeError(w, r, ep, http.StatusBadRequest, err)
+		s.writeError(w, r, ep, decodeStatus(err), err)
 		return
 	}
 	p, err := req.Polynomial()
@@ -467,7 +511,7 @@ func (s *Server) handleHD(w http.ResponseWriter, r *http.Request) {
 	s.metrics.requests.Add(ep, 1)
 	var req HDRequest
 	if err := s.decode(w, r, &req); err != nil {
-		s.writeError(w, r, ep, http.StatusBadRequest, err)
+		s.writeError(w, r, ep, decodeStatus(err), err)
 		return
 	}
 	p, err := req.Polynomial()
@@ -512,7 +556,7 @@ func (s *Server) handleMaxLen(w http.ResponseWriter, r *http.Request) {
 	s.metrics.requests.Add(ep, 1)
 	var req MaxLenRequest
 	if err := s.decode(w, r, &req); err != nil {
-		s.writeError(w, r, ep, http.StatusBadRequest, err)
+		s.writeError(w, r, ep, decodeStatus(err), err)
 		return
 	}
 	p, err := req.Polynomial()
@@ -564,7 +608,7 @@ func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 	s.metrics.requests.Add(ep, 1)
 	var req SelectRequest
 	if err := s.decode(w, r, &req); err != nil {
-		s.writeError(w, r, ep, http.StatusBadRequest, err)
+		s.writeError(w, r, ep, decodeStatus(err), err)
 		return
 	}
 	if len(req.Candidates) == 0 {
@@ -631,7 +675,7 @@ func (s *Server) handleChecksum(w http.ResponseWriter, r *http.Request) {
 	s.metrics.requests.Add(ep, 1)
 	var req ChecksumRequest
 	if err := s.decode(w, r, &req); err != nil {
-		s.writeError(w, r, ep, http.StatusBadRequest, err)
+		s.writeError(w, r, ep, decodeStatus(err), err)
 		return
 	}
 	if req.Algorithm == "" {
@@ -709,6 +753,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		"coalesced":        json.RawMessage(s.metrics.coalesced.String()),
 		"canceled":         json.RawMessage(s.metrics.canceled.String()),
 		"streams":          json.RawMessage(s.metrics.streams.String()),
+		"batch_items":      json.RawMessage(s.metrics.batchItems.String()),
+		"stream_bytes":     json.RawMessage(s.metrics.streamBytes.String()),
 		"pool":             s.pool.stats(),
 		"auto_profile":     crchash.AutoProfile(),
 	}

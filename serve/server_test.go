@@ -20,15 +20,17 @@ import (
 
 // metricsSnapshot mirrors the /metrics document for test assertions.
 type metricsSnapshot struct {
-	Requests  map[string]int64 `json:"requests"`
-	Errors    map[string]int64 `json:"errors"`
-	Kernels   map[string]int64 `json:"checksum_kernels"`
-	Flights   int64            `json:"flights"`
-	Coalesced int64            `json:"coalesced"`
-	Canceled  int64            `json:"canceled"`
-	Streams   int64            `json:"streams"`
-	Pool      PoolStats        `json:"pool"`
-	Profile   struct {
+	Requests    map[string]int64 `json:"requests"`
+	Errors      map[string]int64 `json:"errors"`
+	Kernels     map[string]int64 `json:"checksum_kernels"`
+	Flights     int64            `json:"flights"`
+	Coalesced   int64            `json:"coalesced"`
+	Canceled    int64            `json:"canceled"`
+	Streams     int64            `json:"streams"`
+	BatchItems  int64            `json:"batch_items"`
+	StreamBytes int64            `json:"stream_bytes"`
+	Pool        PoolStats        `json:"pool"`
+	Profile     struct {
 		Override string `json:"override"`
 		Kernels  []struct {
 			Kernel   string  `json:"kernel"`
