@@ -180,6 +180,12 @@ type Analyzer struct {
 	ctx    context.Context // context of the in-flight call, read by the cancel hook
 	bounds map[int]*bound
 	wts    map[[2]int]uint64 // exact weight memo, keyed by {w, dataLen}
+	// restoredProbes is the engine work the session's restored knowledge
+	// originally cost (see RestoreMemos); exported snapshots carry it
+	// forward so "cost to rebuild" survives restarts. It is NOT part of
+	// MemoStats.Probes, which reports only this session's live engine
+	// work — a restored session answering from the corpus shows 0.
+	restoredProbes int64
 
 	// factsMu guards the cheap algebraic memos and the stats snapshot,
 	// so Shape/Period/Stats never wait behind a long evaluation.

@@ -1,0 +1,181 @@
+// Command crcbake sweeps a set of polynomials offline and persists
+// their Analyzer memos into a disk-backed corpus (internal/corpus),
+// so crcserve -corpus can warm-start sessions with zero engine probes.
+//
+//	crcbake -corpus /var/lib/crc/corpus -polys 0x82608edb,0xba0dc66b -maxlen 16384 -maxhd 6
+//
+// Baking is resumable: knowledge already in the corpus is restored
+// before evaluating, so re-running after a crash or an interrupt
+// (SIGINT finishes durably and exits) skips finished polynomials.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"koopmancrc"
+	"koopmancrc/internal/corpus"
+	"koopmancrc/internal/dist"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "crcbake:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("crcbake", flag.ContinueOnError)
+	fs.SetOutput(out)
+	var (
+		dir        = fs.String("corpus", "", "corpus directory to bake into (required)")
+		width      = fs.Int("width", 32, "polynomial width in bits")
+		polys      = fs.String("polys", "", "comma-separated polynomials in Koopman notation (hex)")
+		polyFile   = fs.String("polyfile", "", "file with one Koopman-notation polynomial per line (# comments)")
+		maxLen     = fs.Int("maxlen", 16384, "data-word length ceiling of the baked profile")
+		maxHD      = fs.Int("maxhd", 6, "classify Hamming distances up to this weight (0 = analyzer default)")
+		weights    = fs.String("weights", "", "comma-separated data lengths to bake exact W2..W4 counts at")
+		workers    = fs.Int("workers", 0, "concurrent evaluations (0 = GOMAXPROCS)")
+		maxProbes  = fs.Int64("maxprobes", 0, "per-query engine probe budget (0 = default)")
+		compactEvN = fs.Int("compactevery", 0, "compact the corpus WAL every N appends (0 = default)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dir == "" {
+		return fmt.Errorf("-corpus is required")
+	}
+	list, err := parsePolys(*polys, *polyFile)
+	if err != nil {
+		return err
+	}
+	weightLens, err := parseInts(*weights)
+	if err != nil {
+		return fmt.Errorf("-weights: %w", err)
+	}
+
+	store, err := corpus.Open(*dir, corpus.Config{CompactEvery: *compactEvN})
+	if err != nil {
+		return err
+	}
+	if st := store.Stats(); st.TruncatedAtOpen > 0 || st.SkippedAtOpen > 0 {
+		fmt.Fprintf(out, "corpus recovery: truncated %d torn bytes, skipped %d invalid records\n",
+			st.TruncatedAtOpen, st.SkippedAtOpen)
+	}
+
+	spec := dist.BakeSpec{
+		Width:      *width,
+		Polys:      list,
+		MaxLen:     *maxLen,
+		MaxHD:      *maxHD,
+		WeightLens: weightLens,
+	}
+	cfg := dist.BakeConfig{
+		Workers: *workers,
+		Limits:  koopmancrc.Limits{MaxProbes: *maxProbes},
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(out, format+"\n", args...)
+		},
+	}
+	start := time.Now()
+	sum, bakeErr := dist.Bake(ctx, spec, store, cfg)
+	closeErr := store.Close()
+
+	if sum != nil {
+		st := store.Stats()
+		fmt.Fprintf(out, "baked %d, warm %d, failed %d: %d polynomials in corpus (%d facts, %d bytes) in %s\n",
+			sum.Baked, sum.Warm, len(sum.Failed), st.Entries, st.Facts, st.Bytes,
+			time.Since(start).Round(time.Millisecond))
+		for _, f := range sum.Failed {
+			fmt.Fprintf(out, "failed %d:%#x: %v\n", *width, f.Poly, f.Err)
+		}
+	}
+	if bakeErr != nil {
+		return bakeErr
+	}
+	if closeErr != nil {
+		return closeErr
+	}
+	if sum != nil && len(sum.Failed) > 0 {
+		return fmt.Errorf("%d polynomials failed", len(sum.Failed))
+	}
+	return nil
+}
+
+// parsePolys merges the -polys list and the -polyfile contents.
+func parsePolys(csv, file string) ([]uint64, error) {
+	var out []uint64
+	add := func(tok string) error {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			return nil
+		}
+		v, err := strconv.ParseUint(strings.TrimPrefix(tok, "0x"), 16, 64)
+		if err != nil {
+			return fmt.Errorf("polynomial %q: %w", tok, err)
+		}
+		out = append(out, v)
+		return nil
+	}
+	for _, tok := range strings.Split(csv, ",") {
+		if err := add(tok); err != nil {
+			return nil, err
+		}
+	}
+	if file != "" {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			return nil, err
+		}
+		for _, line := range strings.Split(string(data), "\n") {
+			if i := strings.IndexByte(line, '#'); i >= 0 {
+				line = line[:i]
+			}
+			if err := add(line); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no polynomials: pass -polys and/or -polyfile")
+	}
+	// Dedup, preserving order: baking the same polynomial twice in one
+	// run wastes a worker slot for no extra knowledge.
+	seen := make(map[uint64]bool, len(out))
+	uniq := out[:0]
+	for _, v := range out {
+		if !seen[v] {
+			seen[v] = true
+			uniq = append(uniq, v)
+		}
+	}
+	return uniq, nil
+}
+
+// parseInts parses a comma-separated list of positive decimal integers.
+func parseInts(csv string) ([]int, error) {
+	var out []int
+	for _, tok := range strings.Split(csv, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		v, err := strconv.Atoi(tok)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

@@ -1,0 +1,100 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"koopmancrc/internal/corpus"
+)
+
+func TestRunBakesAndResumes(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "corpus")
+	args := []string{
+		"-corpus", dir,
+		"-width", "8",
+		"-polys", "0x83,0x9c",
+		"-maxlen", "64",
+		"-maxhd", "6",
+		"-weights", "32",
+	}
+	var out bytes.Buffer
+	if err := run(context.Background(), args, &out); err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "baked 2, warm 0, failed 0") {
+		t.Fatalf("cold bake output:\n%s", out.String())
+	}
+
+	s, err := corpus.Open(dir, corpus.Config{})
+	if err != nil {
+		t.Fatalf("corpus.Open: %v", err)
+	}
+	if _, ok := s.Get(8, 0x83); !ok {
+		t.Fatalf("0x83 not in corpus")
+	}
+	if _, ok := s.Get(8, 0x9c); !ok {
+		t.Fatalf("0x9c not in corpus")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// Re-run: everything already baked reports warm.
+	out.Reset()
+	if err := run(context.Background(), args, &out); err != nil {
+		t.Fatalf("re-run: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "baked 0, warm 2, failed 0") {
+		t.Fatalf("warm bake output:\n%s", out.String())
+	}
+}
+
+func TestRunPolyFileAndDedup(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "corpus")
+	pf := filepath.Join(t.TempDir(), "polys.txt")
+	if err := os.WriteFile(pf, []byte("# fast 8-bit polynomials\n0x83\n0x9c # darc\n\n0x83\n"), 0o644); err != nil {
+		t.Fatalf("write polyfile: %v", err)
+	}
+	var out bytes.Buffer
+	err := run(context.Background(), []string{
+		"-corpus", dir, "-width", "8", "-polyfile", pf, "-maxlen", "64", "-maxhd", "6",
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "baked 2, warm 0, failed 0") {
+		t.Fatalf("polyfile bake output:\n%s", out.String())
+	}
+}
+
+func TestRunFlagValidation(t *testing.T) {
+	cases := [][]string{
+		{},                               // no -corpus
+		{"-corpus", "x"},                 // no polynomials
+		{"-corpus", "x", "-polys", "zz"}, // unparsable polynomial
+	}
+	for _, args := range cases {
+		var out bytes.Buffer
+		if err := run(context.Background(), args, &out); err == nil {
+			t.Errorf("run(%v) accepted", args)
+		}
+	}
+}
+
+func TestRunReportsFailures(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "corpus")
+	var out bytes.Buffer
+	err := run(context.Background(), []string{
+		"-corpus", dir, "-width", "8", "-polys", "0x83,0x1ff", "-maxlen", "64", "-maxhd", "6",
+	}, &out)
+	if err == nil {
+		t.Fatalf("run accepted an out-of-range polynomial:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "failed 8:0x1ff") {
+		t.Fatalf("failure not reported:\n%s", out.String())
+	}
+}

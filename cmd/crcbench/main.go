@@ -6,7 +6,7 @@
 //
 //	crcbench [-o BENCH_PR6.json] [-quick] [-algorithm CRC-32C/iSCSI]
 //	         [-kinds slicing8,slicing16,chorba,hardware]
-//	         [-sizes 64,4096,1048576] [-budget 50ms]
+//	         [-sizes 64,4096,1048576] [-budget 50ms] [-serve] [-corpus]
 //	crcbench -validate BENCH_PR6.json
 //
 // The default sweep runs every concrete kernel kind the algorithm
@@ -32,7 +32,10 @@ import (
 	"strings"
 	"time"
 
+	"koopmancrc"
 	"koopmancrc/crchash"
+	"koopmancrc/internal/corpus"
+	"koopmancrc/internal/dist"
 	"koopmancrc/serve"
 	"koopmancrc/serve/client"
 )
@@ -57,6 +60,31 @@ type Report struct {
 	// amortization: many small checksums in one /v1/checksum/batch round
 	// trip versus the same checksums as sequential /v1/checksum calls.
 	Serve *ServeBench `json:"serve,omitempty"`
+	// Corpus, when present (-corpus), measures the persistent-corpus
+	// warm start: the first /v1/evaluate on a cold server versus one
+	// warm-started from a corpus baked offline with the same sweep.
+	Corpus *CorpusBench `json:"corpus,omitempty"`
+}
+
+// CorpusBench is the warm-start measurement: one polynomial baked into
+// a throwaway corpus, then the same first-evaluation timed against an
+// in-process crcserve without and with -corpus.
+type CorpusBench struct {
+	Poly   string `json:"poly"` // Koopman notation
+	Width  int    `json:"width"`
+	MaxLen int    `json:"max_len"`
+	MaxHD  int    `json:"max_hd"`
+	// ColdSeconds is the first /v1/evaluate on a server with no corpus:
+	// the full engine scan runs inline with the request.
+	ColdSeconds float64 `json:"cold_seconds"`
+	// WarmSeconds is the same first /v1/evaluate on a server whose pool
+	// warm-started the session from the baked corpus.
+	WarmSeconds float64 `json:"warm_seconds"`
+	// Speedup is ColdSeconds / WarmSeconds.
+	Speedup float64 `json:"speedup"`
+	// WarmProbes is the warm session's live engine probe count after the
+	// evaluation — zero when the corpus fully covered the query.
+	WarmProbes int64 `json:"warm_probes"`
 }
 
 // ServeBench is the serve-level amortization measurement: Items small
@@ -115,6 +143,7 @@ func run(args []string, out io.Writer) error {
 	sizeList := fs.String("sizes", "", "comma-separated payload sizes in bytes (default: 64B..16MiB sweep)")
 	budget := fs.Duration("budget", 50*time.Millisecond, "time budget per kernel+size measurement")
 	serveBench := fs.Bool("serve", false, "also measure serve-level batch amortization (64 small payloads batched vs sequential)")
+	corpusBench := fs.Bool("corpus", false, "also measure corpus warm-start: first /v1/evaluate cold vs restored from a baked corpus")
 	validate := fs.String("validate", "", "validate an existing report file and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -196,6 +225,16 @@ func run(args []string, out io.Writer) error {
 			sb.Items, sb.PayloadBytes, sb.SequentialIPS, sb.BatchIPS, sb.Amortization)
 	}
 
+	if *corpusBench {
+		cb, err := measureCorpus(*quick)
+		if err != nil {
+			return fmt.Errorf("corpus bench: %w", err)
+		}
+		rep.Corpus = cb
+		fmt.Fprintf(out, "corpus     %s/%d maxlen %d hd %d  cold %7.3fs  warm %7.3fs  speedup %6.1fx  warm probes %d\n",
+			cb.Poly, cb.Width, cb.MaxLen, cb.MaxHD, cb.ColdSeconds, cb.WarmSeconds, cb.Speedup, cb.WarmProbes)
+	}
+
 	enc, err := json.MarshalIndent(&rep, "", "  ")
 	if err != nil {
 		return err
@@ -268,7 +307,10 @@ func measureServe(algorithm string, quick bool) (*ServeBench, error) {
 		budget = 200 * time.Millisecond
 	}
 
-	srv := serve.New(serve.Config{})
+	srv, err := serve.New(serve.Config{})
+	if err != nil {
+		return nil, err
+	}
 	defer srv.Close()
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -334,6 +376,118 @@ func measureServe(algorithm string, quick bool) (*ServeBench, error) {
 		BatchIPS:      batchIPS,
 		Amortization:  batchIPS / seqIPS,
 	}, nil
+}
+
+// measureCorpus bakes one real 32-bit polynomial (CRC-32 IEEE 802.3)
+// into a throwaway corpus, then times the first /v1/evaluate against an
+// in-process crcserve twice: once cold, once warm-started from the
+// corpus. The delta is exactly the engine work the corpus replaces; the
+// warm session's live probe count pins the "zero probes when covered"
+// serving guarantee in the artifact.
+func measureCorpus(quick bool) (*CorpusBench, error) {
+	const polyHex, width = "0x82608edb", 32 // CRC-32 IEEE 802.3, Koopman notation
+	maxLen, maxHD := 4096, 5
+	if quick {
+		maxLen = 1024
+	}
+	p, err := koopmancrc.ParsePolynomial(width, koopmancrc.Koopman, polyHex)
+	if err != nil {
+		return nil, err
+	}
+
+	dir, err := os.MkdirTemp("", "crcbench-corpus-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	store, err := corpus.Open(dir, corpus.Config{})
+	if err != nil {
+		return nil, err
+	}
+	sum, err := dist.Bake(context.Background(), dist.BakeSpec{
+		Width: width, Polys: []uint64{p.Koopman()}, MaxLen: maxLen, MaxHD: maxHD,
+	}, store, dist.BakeConfig{})
+	if err != nil {
+		return nil, err
+	}
+	if len(sum.Failed) != 0 {
+		return nil, fmt.Errorf("bake failed: %v", sum.Failed[0].Err)
+	}
+	if err := store.Close(); err != nil {
+		return nil, err
+	}
+
+	req := serve.EvaluateRequest{
+		PolyRef: serve.PolyRef{Poly: polyHex, Width: width},
+		MaxLen:  maxLen,
+		MaxHD:   maxHD,
+	}
+	cold, _, err := timeFirstEvaluate(serve.Config{}, req)
+	if err != nil {
+		return nil, fmt.Errorf("cold: %w", err)
+	}
+	warm, warmProbes, err := timeFirstEvaluate(serve.Config{CorpusDir: dir}, req)
+	if err != nil {
+		return nil, fmt.Errorf("warm: %w", err)
+	}
+	if warm <= 0 {
+		return nil, fmt.Errorf("degenerate warm measurement: %v", warm)
+	}
+	return &CorpusBench{
+		Poly:        polyHex,
+		Width:       width,
+		MaxLen:      maxLen,
+		MaxHD:       maxHD,
+		ColdSeconds: cold.Seconds(),
+		WarmSeconds: warm.Seconds(),
+		Speedup:     cold.Seconds() / warm.Seconds(),
+		WarmProbes:  warmProbes,
+	}, nil
+}
+
+// timeFirstEvaluate stands up an in-process crcserve with the config,
+// times one /v1/evaluate round trip, and returns it with the pool's
+// live engine probe total afterwards.
+func timeFirstEvaluate(cfg serve.Config, req serve.EvaluateRequest) (time.Duration, int64, error) {
+	srv, err := serve.New(cfg)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer srv.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return 0, 0, err
+	}
+	hs := &http.Server{Handler: srv, ReadHeaderTimeout: 10 * time.Second}
+	go func() { _ = hs.Serve(ln) }()
+	defer hs.Close()
+	base := "http://" + ln.Addr().String()
+	c := client.New(base)
+	ctx := context.Background()
+
+	if err := c.Healthz(ctx); err != nil { // connection up before the clock starts
+		return 0, 0, err
+	}
+	start := time.Now()
+	if _, err := c.Evaluate(ctx, req); err != nil {
+		return 0, 0, err
+	}
+	elapsed := time.Since(start)
+
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		return 0, 0, err
+	}
+	defer resp.Body.Close()
+	var m struct {
+		Pool struct {
+			Probes int64 `json:"probes"`
+		} `json:"pool"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		return 0, 0, err
+	}
+	return elapsed, m.Pool.Probes, nil
 }
 
 // validateReport checks a report file against the schema the sweep
@@ -409,6 +563,26 @@ func validateReport(path string, out io.Writer) error {
 		}
 		serveNote = fmt.Sprintf(", serve amortization %.1fx", sb.Amortization)
 	}
-	fmt.Fprintf(out, "%s: valid (%d kernels, %d measurements%s)\n", path, len(sizesByKernel), len(rep.Results), serveNote)
+	corpusNote := ""
+	if cb := rep.Corpus; cb != nil {
+		if _, err := koopmancrc.ParsePolynomial(cb.Width, koopmancrc.Koopman, cb.Poly); err != nil {
+			return fmt.Errorf("%s: corpus: %w", path, err)
+		}
+		if cb.MaxLen <= 0 || cb.MaxHD < 2 {
+			return fmt.Errorf("%s: corpus: bad sweep window %+v", path, cb)
+		}
+		if cb.ColdSeconds <= 0 || cb.WarmSeconds <= 0 {
+			return fmt.Errorf("%s: corpus: non-positive timings %+v", path, cb)
+		}
+		ratio := cb.ColdSeconds / cb.WarmSeconds
+		if cb.Speedup <= 0 || cb.Speedup/ratio < 0.99 || cb.Speedup/ratio > 1.01 {
+			return fmt.Errorf("%s: corpus: speedup %.3f inconsistent with cold/warm %.3f", path, cb.Speedup, ratio)
+		}
+		if cb.WarmProbes != 0 {
+			return fmt.Errorf("%s: corpus: warm evaluation did %d live probes, want 0 (corpus must cover the query)", path, cb.WarmProbes)
+		}
+		corpusNote = fmt.Sprintf(", corpus warm-start %.0fx", cb.Speedup)
+	}
+	fmt.Fprintf(out, "%s: valid (%d kernels, %d measurements%s%s)\n", path, len(sizesByKernel), len(rep.Results), serveNote, corpusNote)
 	return nil
 }

@@ -54,7 +54,10 @@ func TestRunJSONMatchesServer(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	srv := serve.New(serve.Config{})
+	srv, err := serve.New(serve.Config{})
+	if err != nil {
+		t.Fatalf("serve.New: %v", err)
+	}
 	defer srv.Close()
 	ts := httptest.NewServer(srv)
 	defer ts.Close()

@@ -11,6 +11,7 @@
 //	         [-maxbatchbytes 16777216] [-maxstreambytes 1073741824]
 //	         [-cert server.crt -key server.key]
 //	         [-pprof 127.0.0.1:6060] [-remeasure 1h]
+//	         [-corpus /var/lib/crc/corpus]
 //
 // -token enables bearer-token auth (constant-time comparison) on every
 // endpoint except /healthz; -cert/-key switch the listener to TLS. The
@@ -33,6 +34,12 @@
 // /metrics?format=prometheus) and logged. This catches machines whose
 // relative kernel speeds move after startup — CPU frequency policy,
 // thermal throttling, migration to a different host class.
+//
+// -corpus enables the persistent analysis corpus: evaluation sessions
+// warm-start from memos baked offline with crcbake (a covered query
+// answers with zero engine probes) and newly computed memos are
+// persisted back write-behind. The directory is crash-safe — torn or
+// corrupt journal tails are truncated at open, never served.
 package main
 
 import (
@@ -82,6 +89,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	maxStreamBytes := fs.Int64("maxstreambytes", 1<<30, "cap on one /v1/checksum/stream body (bytes)")
 	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this separate address (bare :port binds loopback; empty = off)")
 	remeasure := fs.Duration("remeasure", 0, "re-run the kernel micro-benchmark at this interval and track profile drift (0 = off)")
+	corpusDir := fs.String("corpus", "", "persistent analysis corpus directory: warm-start sessions from baked memos (see crcbake) and persist new ones write-behind (empty = off)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -92,7 +100,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		return errors.New("-remeasure interval must be at least 1s")
 	}
 
-	srv := serve.New(serve.Config{
+	srv, err := serve.New(serve.Config{
 		PoolSize:       *pool,
 		MaxLenCap:      *maxLen,
 		MaxHDCap:       *maxHD,
@@ -103,8 +111,15 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		MaxBatchBytes:  *maxBatchBytes,
 		MaxStreamBytes: *maxStreamBytes,
 		Limits:         koopmancrc.Limits{MaxProbes: *maxProbes},
+		CorpusDir:      *corpusDir,
 	})
+	if err != nil {
+		return err
+	}
 	defer srv.Close()
+	if *corpusDir != "" {
+		fmt.Fprintf(out, "crcserve corpus at %s\n", *corpusDir)
+	}
 
 	if *pprofAddr != "" {
 		pln, err := listenPprof(*pprofAddr)

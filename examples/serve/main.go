@@ -19,7 +19,10 @@ import (
 )
 
 func main() {
-	srv := serve.New(serve.Config{PoolSize: 8})
+	srv, err := serve.New(serve.Config{PoolSize: 8})
+	if err != nil {
+		log.Fatal(err)
+	}
 	defer srv.Close()
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {

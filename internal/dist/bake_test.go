@@ -1,0 +1,163 @@
+package dist
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"koopmancrc"
+	"koopmancrc/internal/corpus"
+)
+
+func TestBakePersistsAndResumesWarm(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	spec := BakeSpec{Width: 8, Polys: []uint64{0x83, 0x9c}, MaxLen: 64, MaxHD: 6, WeightLens: []int{32}}
+
+	s, err := corpus.Open(dir, corpus.Config{})
+	if err != nil {
+		t.Fatalf("corpus.Open: %v", err)
+	}
+	sum, err := Bake(ctx, spec, s, BakeConfig{Workers: 2, Logf: t.Logf})
+	if err != nil {
+		t.Fatalf("Bake: %v", err)
+	}
+	if sum.Baked != 2 || sum.Warm != 0 || len(sum.Failed) != 0 || sum.Probes == 0 {
+		t.Fatalf("cold bake summary = %+v", sum)
+	}
+	snap, ok := s.Get(8, 0x83)
+	if !ok || snap.Entries() == 0 {
+		t.Fatalf("bake left no knowledge for 0x83")
+	}
+	// Profile + the three exact counts at length 32.
+	if len(snap.Weights) != 3 {
+		t.Fatalf("baked weights = %+v, want w=2..4 at len 32", snap.Weights)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// Re-run against the same corpus: everything is already covered, so
+	// the sweep finishes with zero engine probes and zero new appends.
+	s2, err := corpus.Open(dir, corpus.Config{})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer s2.Close()
+	sum2, err := Bake(ctx, spec, s2, BakeConfig{Workers: 2})
+	if err != nil {
+		t.Fatalf("warm Bake: %v", err)
+	}
+	if sum2.Baked != 0 || sum2.Warm != 2 || sum2.Probes != 0 {
+		t.Fatalf("warm bake summary = %+v, want all warm at zero probes", sum2)
+	}
+	if st := s2.Stats(); st.Appends != 0 {
+		t.Fatalf("warm bake appended %d records, want 0", st.Appends)
+	}
+}
+
+// TestBakeResumesAfterCrash simulates a crash mid-bake: one polynomial
+// durably finished, the WAL torn mid-append. The re-run must truncate
+// the tear, treat the finished polynomial as warm, and bake the rest.
+func TestBakeResumesAfterCrash(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+
+	s, err := corpus.Open(dir, corpus.Config{})
+	if err != nil {
+		t.Fatalf("corpus.Open: %v", err)
+	}
+	if _, err := Bake(ctx, BakeSpec{Width: 8, Polys: []uint64{0x83}, MaxLen: 64, MaxHD: 6}, s, BakeConfig{}); err != nil {
+		t.Fatalf("first bake: %v", err)
+	}
+	// Crash: no Close (no compaction), plus a torn half-record in the WAL.
+	f, err := os.OpenFile(filepath.Join(dir, "wal.jlog"), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatalf("open wal: %v", err)
+	}
+	if _, err := f.WriteString(`00000000 {"seq":2,"type":"memo","data":{"version":1,"wid`); err != nil {
+		t.Fatalf("tear wal: %v", err)
+	}
+	f.Close()
+
+	s2, err := corpus.Open(dir, corpus.Config{})
+	if err != nil {
+		t.Fatalf("reopen after crash: %v", err)
+	}
+	defer s2.Close()
+	if st := s2.Stats(); st.TruncatedAtOpen == 0 {
+		t.Fatalf("torn tail not truncated: %+v", st)
+	}
+	sum, err := Bake(ctx, BakeSpec{Width: 8, Polys: []uint64{0x83, 0x9c}, MaxLen: 64, MaxHD: 6}, s2, BakeConfig{})
+	if err != nil {
+		t.Fatalf("resume bake: %v", err)
+	}
+	if sum.Warm != 1 || sum.Baked != 1 {
+		t.Fatalf("resume summary = %+v, want 1 warm (0x83) + 1 baked (0x9c)", sum)
+	}
+	if _, ok := s2.Get(8, 0x9c); !ok {
+		t.Fatalf("resume did not bake 0x9c")
+	}
+}
+
+func TestBakeCancellation(t *testing.T) {
+	dir := t.TempDir()
+	s, err := corpus.Open(dir, corpus.Config{})
+	if err != nil {
+		t.Fatalf("corpus.Open: %v", err)
+	}
+	defer s.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err = Bake(ctx, BakeSpec{Width: 8, Polys: []uint64{0x83, 0x9c}, MaxLen: 64, MaxHD: 6}, s, BakeConfig{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Bake under cancelled ctx = %v, want context.Canceled", err)
+	}
+}
+
+func TestBakeCollectsPerPolyFailures(t *testing.T) {
+	dir := t.TempDir()
+	s, err := corpus.Open(dir, corpus.Config{})
+	if err != nil {
+		t.Fatalf("corpus.Open: %v", err)
+	}
+	defer s.Close()
+	// 0x80 has no x^0 term in Koopman notation's implicit +1... it does;
+	// but an out-of-range value for the width fails FromKoopman.
+	sum, err := Bake(context.Background(),
+		BakeSpec{Width: 8, Polys: []uint64{0x83, 0x1ff}, MaxLen: 64, MaxHD: 6}, s, BakeConfig{})
+	if err != nil {
+		t.Fatalf("Bake: %v", err)
+	}
+	if sum.Baked != 1 || len(sum.Failed) != 1 || sum.Failed[0].Poly != 0x1ff {
+		t.Fatalf("summary = %+v, want 0x1ff failed and 0x83 baked", sum)
+	}
+}
+
+func TestBakeSpecValidation(t *testing.T) {
+	sink := nullSink{}
+	ctx := context.Background()
+	bad := []BakeSpec{
+		{Width: 1, Polys: []uint64{0x83}, MaxLen: 64},
+		{Width: 8, MaxLen: 64},
+		{Width: 8, Polys: []uint64{0x83}},
+		{Width: 8, Polys: []uint64{0x83}, MaxLen: 64, MaxHD: -1},
+		{Width: 8, Polys: []uint64{0x83}, MaxLen: 64, WeightLens: []int{128}},
+	}
+	for i, spec := range bad {
+		if _, err := Bake(ctx, spec, sink, BakeConfig{}); err == nil {
+			t.Errorf("spec %d accepted: %+v", i, spec)
+		}
+	}
+	if _, err := Bake(ctx, BakeSpec{Width: 8, Polys: []uint64{0x83}, MaxLen: 64}, nil, BakeConfig{}); err == nil {
+		t.Errorf("nil sink accepted")
+	}
+}
+
+// nullSink satisfies BakeSink without storage, for validation tests.
+type nullSink struct{}
+
+func (nullSink) Get(int, uint64) (*koopmancrc.MemoSnapshot, bool) { return nil, false }
+func (nullSink) Put(*koopmancrc.MemoSnapshot) error               { return nil }

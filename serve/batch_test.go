@@ -311,7 +311,10 @@ func (z *zeroReader) Read(p []byte) (int, error) {
 // held. A regression to read-then-hash (io.ReadAll and friends) blows
 // the ceiling by an order of magnitude immediately.
 func TestStreamConstantBuffering(t *testing.T) {
-	srv := New(Config{MaxStreamBytes: 1 << 30})
+	srv, err := New(Config{MaxStreamBytes: 1 << 30})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
 	defer srv.Close()
 
 	run := func(n int64) string {

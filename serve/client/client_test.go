@@ -16,7 +16,10 @@ import (
 
 func startServer(t *testing.T, cfg serve.Config) *httptest.Server {
 	t.Helper()
-	srv := serve.New(cfg)
+	srv, err := serve.New(cfg)
+	if err != nil {
+		t.Fatalf("serve.New: %v", err)
+	}
 	ts := httptest.NewServer(srv)
 	t.Cleanup(func() {
 		ts.Close()

@@ -69,7 +69,10 @@ func TestChecksumReaderAPIError(t *testing.T) {
 // the pipeline must overlap requests (otherwise it is just a loop) while
 // never exceeding its bound.
 func TestPipelineBoundedInFlight(t *testing.T) {
-	srv := serve.New(serve.Config{})
+	srv, err := serve.New(serve.Config{})
+	if err != nil {
+		t.Fatalf("serve.New: %v", err)
+	}
 	defer srv.Close()
 	var inFlight, maxInFlight atomic.Int64
 	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
@@ -153,7 +156,10 @@ func batchOf(n int) serve.ChecksumBatchRequest {
 // test harness and records it in the BENCH_PR8.json trajectory.
 
 func BenchmarkChecksumSequential64(b *testing.B) {
-	srv := serve.New(serve.Config{})
+	srv, err := serve.New(serve.Config{})
+	if err != nil {
+		b.Fatalf("serve.New: %v", err)
+	}
 	defer srv.Close()
 	ts := httptest.NewServer(srv)
 	defer ts.Close()
@@ -171,7 +177,10 @@ func BenchmarkChecksumSequential64(b *testing.B) {
 }
 
 func BenchmarkChecksumBatch64(b *testing.B) {
-	srv := serve.New(serve.Config{})
+	srv, err := serve.New(serve.Config{})
+	if err != nil {
+		b.Fatalf("serve.New: %v", err)
+	}
 	defer srv.Close()
 	ts := httptest.NewServer(srv)
 	defer ts.Close()
@@ -191,7 +200,10 @@ func BenchmarkChecksumBatch64(b *testing.B) {
 }
 
 func BenchmarkChecksumBatch64Pipelined(b *testing.B) {
-	srv := serve.New(serve.Config{})
+	srv, err := serve.New(serve.Config{})
+	if err != nil {
+		b.Fatalf("serve.New: %v", err)
+	}
 	defer srv.Close()
 	ts := httptest.NewServer(srv)
 	defer ts.Close()

@@ -61,6 +61,28 @@
 // Per-request max_hd and limits are honoured but clamped by the server
 // Config; server-side timeouts bound each request's evaluation budget.
 //
+// # Persistent corpus
+//
+// Config.CorpusDir connects the pool to a disk-backed corpus of memo
+// snapshots (internal/corpus, typically filled offline by cmd/crcbake).
+// Every fresh session warm-starts from the stored snapshot for its
+// polynomial before serving its first request — a query the snapshot
+// covers answers with zero engine probes — and knowledge learned live
+// is persisted back write-behind: requests only enqueue a note; a
+// single background goroutine exports and appends the session memo
+// afterwards, skipping sessions that have not learned anything since
+// their last write. A full queue drops the note rather than blocking
+// (the next evaluation re-notes the session), eviction flushes a
+// session on its way out of the pool, and Close drains the queue, so
+// persistence is eventual but never on the request path. Pool eviction
+// is cost-aware: under capacity pressure the session with the fewest
+// live engine probes — the cheapest to rebuild, since corpus-restored
+// knowledge rebuilds for free — is evicted first, LRU breaking ties.
+// The store itself is crash-safe (CRC-protected journal; torn or
+// corrupt tails truncated at open, never served), and /metrics reports
+// hits, misses, writes, write errors, entry/byte totals and load
+// latency under the "corpus" document and the crcserve_corpus_* series.
+//
 // # Checksum ingestion tier
 //
 // The batch and stream endpoints make the checksum path usable as a

@@ -29,6 +29,8 @@ type serverObs struct {
 	batchItems  *obs.Histogram // items per checksum batch
 	batchBytes  *obs.Histogram // total decoded payload bytes per checksum batch
 	streamBytes *obs.Histogram // body bytes per completed checksum stream
+
+	corpusLoad *obs.Histogram // corpus lookup+restore wall time per new session
 }
 
 func newServerObs(s *Server) *serverObs {
@@ -51,6 +53,9 @@ func newServerObs(s *Server) *serverObs {
 			"Total decoded payload bytes per /v1/checksum/batch request.", obs.WorkBuckets()),
 		streamBytes: r.NewHistogram("crcserve_checksum_stream_bytes",
 			"Body bytes digested per completed /v1/checksum/stream request.", obs.WorkBuckets()),
+		corpusLoad: r.NewHistogram("crcserve_corpus_load_seconds",
+			"Corpus lookup plus memo restore wall time per new session (hits and misses).",
+			obs.LatencyBuckets()),
 	}
 	r.NewGaugeFunc("crcserve_flights",
 		"Evaluations actually started on an engine.", func() float64 { return float64(s.metrics.flights.Value()) })
@@ -75,6 +80,20 @@ func newServerObs(s *Server) *serverObs {
 				emit([]string{si.Poly, strconv.Itoa(si.Width), strconv.Itoa(si.MaxHD)}, float64(si.Probes))
 			}
 		})
+	if s.corpus != nil {
+		r.NewGaugeFunc("crcserve_corpus_hits",
+			"Sessions warm-started from the persistent corpus.", func() float64 { return float64(s.metrics.corpusHits.Value()) })
+		r.NewGaugeFunc("crcserve_corpus_misses",
+			"Sessions created with no stored corpus knowledge.", func() float64 { return float64(s.metrics.corpusMisses.Value()) })
+		r.NewGaugeFunc("crcserve_corpus_writes",
+			"Memo snapshots persisted to the corpus write-behind.", func() float64 { return float64(s.metrics.corpusWrites.Value()) })
+		r.NewGaugeFunc("crcserve_corpus_write_errors",
+			"Corpus persistence attempts that failed.", func() float64 { return float64(s.metrics.corpusWriteErrs.Value()) })
+		r.NewGaugeFunc("crcserve_corpus_entries",
+			"Polynomials with stored knowledge in the corpus.", func() float64 { return float64(s.corpus.Stats().Entries) })
+		r.NewGaugeFunc("crcserve_corpus_bytes",
+			"Approximate serialized bytes of the corpus entries.", func() float64 { return float64(s.corpus.Stats().Bytes) })
+	}
 	return o
 }
 

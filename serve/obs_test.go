@@ -15,7 +15,10 @@ import (
 // client-supplied ID is echoed, a missing or hostile one is replaced,
 // and error bodies repeat the ID.
 func TestRequestIDEchoAndMint(t *testing.T) {
-	s := New(Config{})
+	s, err := New(Config{})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
 	defer s.Close()
 
 	rec := httptest.NewRecorder()
@@ -65,7 +68,10 @@ func TestRequestIDEchoAndMint(t *testing.T) {
 // engine-phase series the acceptance criteria name, validated by the
 // pure-Go format checker.
 func TestMetricsPrometheusFormat(t *testing.T) {
-	s := New(Config{})
+	s, err := New(Config{})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
 	defer s.Close()
 
 	// 32-bit 802.3 at a short length: w3/w4 scans run and find nothing
@@ -134,7 +140,10 @@ func TestMetricsPrometheusFormat(t *testing.T) {
 // BenchmarkRequestInstrumentation: the instrumentation share of a warm
 // request must stay under 2%.
 func BenchmarkWarmEvaluate(b *testing.B) {
-	s := New(Config{})
+	s, err := New(Config{})
+	if err != nil {
+		b.Fatalf("New: %v", err)
+	}
 	defer s.Close()
 	body := `{"poly":"0x82608edb","width":32,"max_len":128,"max_hd":6}`
 	warm := httptest.NewRecorder()
@@ -157,7 +166,10 @@ func BenchmarkWarmEvaluate(b *testing.B) {
 // adds to every request: the histogram/counter observation plus the
 // request-ID mint the middleware performs.
 func BenchmarkRequestInstrumentation(b *testing.B) {
-	s := New(Config{})
+	s, err := New(Config{})
+	if err != nil {
+		b.Fatalf("New: %v", err)
+	}
 	defer s.Close()
 	r := httptest.NewRequest("POST", "/v1/evaluate", nil)
 	b.ReportAllocs()

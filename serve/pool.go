@@ -4,6 +4,7 @@ import (
 	"container/list"
 	"context"
 	"sync"
+	"sync/atomic"
 
 	"koopmancrc"
 )
@@ -29,6 +30,17 @@ type session struct {
 	id   int64
 	poly koopmancrc.Polynomial
 	an   *koopmancrc.Analyzer
+
+	// restored marks a session warm-started from the corpus; queries the
+	// stored knowledge covers are then answered at zero engine probes.
+	restored bool
+	// enqueued guards the write-behind queue: a session sits in the
+	// persist channel at most once, however many evaluations note it.
+	enqueued atomic.Bool
+	// persisted is the memo state the persister last wrote (or the state
+	// restored from the corpus), read and written only by the persister
+	// and the warm-start path, so an unchanged session costs no append.
+	persisted koopmancrc.MemoStats
 
 	mu   sync.Mutex
 	subs map[int]chan koopmancrc.Progress
@@ -96,6 +108,15 @@ type pool struct {
 	// the pool creates, fanning engine phase telemetry into the server's
 	// per-phase histograms. Set before the first get.
 	spans func(context.Context, koopmancrc.Span)
+	// warm, when non-nil, hydrates a freshly created session from the
+	// persistent corpus before its first request runs. It is called under
+	// the pool lock (restores into a fresh analyzer never contend), so a
+	// burst of first requests for one polynomial warm-starts exactly once.
+	warm func(*session)
+	// evicted, when non-nil, receives each session the pool stops handing
+	// out, so the server can persist knowledge the write-behind queue has
+	// not flushed yet.
+	evicted func(*session)
 
 	mu        sync.Mutex
 	cap       int
@@ -130,16 +151,41 @@ func (p *pool) get(poly koopmancrc.Polynomial, maxHD int, limits koopmancrc.Limi
 	}
 	p.misses++
 	for p.order.Len() >= p.cap {
-		back := p.order.Back()
-		p.order.Remove(back)
-		delete(p.byKey, back.Value.(*poolEntry).key)
+		victim := p.cheapestLocked()
+		e := victim.Value.(*poolEntry)
+		p.order.Remove(victim)
+		delete(p.byKey, e.key)
 		p.evictions++
+		if p.evicted != nil {
+			p.evicted(e.sess)
+		}
 	}
 	sess = newSession(poly, maxHD, limits, p.spans)
 	p.seq++
 	sess.id = p.seq
+	if p.warm != nil {
+		p.warm(sess)
+	}
 	p.byKey[key] = p.order.PushFront(&poolEntry{key: key, sess: sess})
 	return sess, false
+}
+
+// cheapestLocked picks the eviction victim: the session cheapest to
+// rebuild, measured by the live engine probes its memo cost
+// (MemoStats.Probes ≈ rebuild cost — and a corpus-restored session
+// counts only the probes spent beyond its snapshot, since the snapshot
+// part rebuilds for free). Ties — common when several sessions have
+// done no live work — fall to the least recently used, scanning from
+// the back so recency still breaks cost ties.
+func (p *pool) cheapestLocked() *list.Element {
+	victim := p.order.Back()
+	minProbes := victim.Value.(*poolEntry).sess.an.MemoStats().Probes
+	for el := victim.Prev(); el != nil; el = el.Prev() {
+		if probes := el.Value.(*poolEntry).sess.an.MemoStats().Probes; probes < minProbes {
+			victim, minProbes = el, probes
+		}
+	}
+	return victim
 }
 
 // counts returns the pool's scalar gauges without building the full
@@ -172,6 +218,8 @@ type SessionInfo struct {
 	ExactBoundaries int    `json:"exact_boundaries"`
 	WeightEntries   int    `json:"weight_entries"`
 	Probes          int64  `json:"probes"`
+	// Restored marks a session warm-started from the persistent corpus.
+	Restored bool `json:"restored,omitempty"`
 }
 
 // stats snapshots the pool, most recently used session first. Session
@@ -200,6 +248,7 @@ func (p *pool) stats() PoolStats {
 			ExactBoundaries: m.ExactBoundaries,
 			WeightEntries:   m.WeightEntries,
 			Probes:          m.Probes,
+			Restored:        e.sess.restored,
 		})
 	}
 	return st

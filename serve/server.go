@@ -11,10 +11,12 @@ import (
 	"log/slog"
 	"net/http"
 	"strings"
+	"sync"
 	"time"
 
 	"koopmancrc"
 	"koopmancrc/crchash"
+	"koopmancrc/internal/corpus"
 	"koopmancrc/internal/obs"
 )
 
@@ -53,6 +55,13 @@ type Config struct {
 	// Token, when non-empty, requires "Authorization: Bearer <Token>" on
 	// every endpoint except /healthz. Comparison is constant-time.
 	Token string
+	// CorpusDir, when non-empty, opens (creating if needed) the
+	// persistent analysis corpus in that directory: new sessions
+	// warm-start from stored memos — a baked polynomial answers with
+	// zero engine probes — and newly computed memos are persisted back
+	// write-behind, never blocking the request path. See internal/corpus
+	// for the on-disk format and crash-safety guarantees.
+	CorpusDir string
 	// Limits are ceilings for per-request engine budgets: a request may
 	// lower a budget below the ceiling but never raise it. Zero fields
 	// leave the engine defaults as the only bound.
@@ -108,6 +117,11 @@ type metrics struct {
 	streams     expvar.Int  // SSE streams served
 	batchItems  expvar.Int  // checksum items received via /v1/checksum/batch
 	streamBytes expvar.Int  // payload bytes digested via /v1/checksum/stream
+
+	corpusHits      expvar.Int // sessions warm-started from the corpus
+	corpusMisses    expvar.Int // sessions created with no stored knowledge
+	corpusWrites    expvar.Int // memo snapshots persisted write-behind
+	corpusWriteErrs expvar.Int // persistence attempts that failed
 }
 
 func newMetrics() *metrics {
@@ -130,15 +144,24 @@ type Server struct {
 	logger  *slog.Logger
 	mux     *http.ServeMux
 
+	// corpus is the persistent analysis store (nil without CorpusDir);
+	// persistCh feeds the write-behind persister goroutine, which signals
+	// persistDone when it has drained on shutdown.
+	corpus      *corpus.Store
+	persistCh   chan *session
+	persistDone chan struct{}
+
 	// base parents every coalesced evaluation; Close cancels it so
 	// shutdown aborts in-flight engine scans promptly.
-	base   context.Context
-	cancel context.CancelFunc
+	base      context.Context
+	cancel    context.CancelFunc
+	closeOnce sync.Once
 }
 
-// New returns a Server for the configuration. Call Close during shutdown
-// to cancel in-flight evaluations.
-func New(cfg Config) *Server {
+// New returns a Server for the configuration. The only failure mode is
+// a Config.CorpusDir that cannot be opened. Call Close during shutdown
+// to cancel in-flight evaluations and flush the corpus.
+func New(cfg Config) (*Server, error) {
 	base, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		cfg:     cfg.withDefaults(),
@@ -153,6 +176,12 @@ func New(cfg Config) *Server {
 	}
 	s.pool = newPool(s.cfg.PoolSize)
 	s.pool.spans = s.observeSpan
+	if s.cfg.CorpusDir != "" {
+		if err := s.setupCorpus(s.cfg.CorpusDir); err != nil {
+			cancel()
+			return nil, err
+		}
+	}
 	s.obs = newServerObs(s)
 	s.mux.HandleFunc("POST /v1/evaluate", s.handleEvaluate)
 	s.mux.HandleFunc("POST /v1/hd", s.handleHD)
@@ -164,13 +193,25 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/algorithms", s.handleAlgorithms)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
-	return s
+	return s, nil
 }
 
-// Close cancels every in-flight evaluation. The Server keeps answering
-// cheap requests (healthz, checksum) afterwards; pair it with
-// http.Server.Shutdown for a full graceful stop.
-func (s *Server) Close() { s.cancel() }
+// Close cancels every in-flight evaluation and, with a corpus enabled,
+// drains the write-behind queue and closes the store (compacting its
+// WAL). Idempotent. The Server keeps answering cheap requests (healthz,
+// checksum) afterwards; pair it with http.Server.Shutdown for a full
+// graceful stop.
+func (s *Server) Close() {
+	s.closeOnce.Do(func() {
+		s.cancel()
+		if s.corpus != nil {
+			<-s.persistDone
+			if err := s.corpus.Close(); err != nil {
+				s.logger.Warn("corpus close failed", slog.String("error", err.Error()))
+			}
+		}
+	})
+}
 
 // tokenEqual compares bearer tokens in constant time, hashing first so
 // even the length is not leaked through timing.
@@ -373,6 +414,9 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 	}
 	limits := s.clampLimits(req.Limits)
 	sess, _ := s.pool.get(p, maxHD, limits)
+	// Persist whatever the evaluation taught the session — even a failed
+	// or cancelled one leaves monotone partial knowledge worth keeping.
+	defer s.notePersist(sess)
 	key := fmt.Sprintf("evaluate|s%d|%d|%#x|hd=%d|len=%d|lim=%+v|w=%v",
 		sess.id, p.Width(), p.Koopman(), maxHD, maxLen, limits, weights)
 	run := func(fctx context.Context) (any, error) {
@@ -531,6 +575,7 @@ func (s *Server) handleHD(w http.ResponseWriter, r *http.Request) {
 	}
 	limits := s.clampLimits(req.Limits)
 	sess, _ := s.pool.get(p, maxHD, limits)
+	defer s.notePersist(sess)
 	key := fmt.Sprintf("hd|s%d|%d|%#x|hd=%d|len=%d|lim=%+v", sess.id, p.Width(), p.Koopman(), maxHD, dataLen, limits)
 
 	ctx, cancel := s.requestCtx(r)
@@ -583,6 +628,7 @@ func (s *Server) handleMaxLen(w http.ResponseWriter, r *http.Request) {
 	}
 	limits := s.clampLimits(req.Limits)
 	sess, _ := s.pool.get(p, maxHD, limits)
+	defer s.notePersist(sess)
 	key := fmt.Sprintf("maxlen|s%d|%d|%#x|hd=%d|hor=%d|shd=%d|lim=%+v", sess.id, p.Width(), p.Koopman(), req.HD, horizon, maxHD, limits)
 
 	ctx, cancel := s.requestCtx(r)
@@ -641,6 +687,7 @@ func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 		}
 		sess, _ := s.pool.get(p, maxHD, limits)
 		analyzers[i] = sess.an
+		defer s.notePersist(sess)
 		keys[i] = fmt.Sprintf("s%d:%d:%#x", sess.id, p.Width(), p.Koopman())
 	}
 	key := fmt.Sprintf("select|%s|hd=%d|len=%d|lim=%+v", strings.Join(keys, ","), maxHD, dataLen, limits)
@@ -756,6 +803,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		"batch_items":      json.RawMessage(s.metrics.batchItems.String()),
 		"stream_bytes":     json.RawMessage(s.metrics.streamBytes.String()),
 		"pool":             s.pool.stats(),
+		"corpus":           s.corpusMetrics(),
 		"auto_profile":     crchash.AutoProfile(),
 	}
 	writeJSON(w, http.StatusOK, out)

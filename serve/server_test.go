@@ -30,7 +30,15 @@ type metricsSnapshot struct {
 	BatchItems  int64            `json:"batch_items"`
 	StreamBytes int64            `json:"stream_bytes"`
 	Pool        PoolStats        `json:"pool"`
-	Profile     struct {
+	Corpus      struct {
+		Enabled bool  `json:"enabled"`
+		Entries int   `json:"entries"`
+		Facts   int   `json:"facts"`
+		Hits    int64 `json:"hits"`
+		Misses  int64 `json:"misses"`
+		Writes  int64 `json:"writes"`
+	} `json:"corpus"`
+	Profile struct {
 		Override string `json:"override"`
 		Kernels  []struct {
 			Kernel   string  `json:"kernel"`
@@ -42,7 +50,10 @@ type metricsSnapshot struct {
 
 func startServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	t.Helper()
-	srv := New(cfg)
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
 	ts := httptest.NewServer(srv)
 	t.Cleanup(func() {
 		ts.Close()
