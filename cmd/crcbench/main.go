@@ -7,6 +7,7 @@
 //	crcbench [-o BENCH_PR6.json] [-quick] [-algorithm CRC-32C/iSCSI]
 //	         [-kinds slicing8,slicing16,chorba,hardware]
 //	         [-sizes 64,4096,1048576] [-budget 50ms] [-serve] [-corpus]
+//	         [-tracing]
 //	crcbench -validate BENCH_PR6.json
 //
 // The default sweep runs every concrete kernel kind the algorithm
@@ -26,6 +27,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/httptest"
 	"os"
 	"runtime"
 	"sort"
@@ -36,6 +38,7 @@ import (
 	"koopmancrc/crchash"
 	"koopmancrc/internal/corpus"
 	"koopmancrc/internal/dist"
+	"koopmancrc/internal/obs"
 	"koopmancrc/serve"
 	"koopmancrc/serve/client"
 )
@@ -64,6 +67,36 @@ type Report struct {
 	// warm start: the first /v1/evaluate on a cold server versus one
 	// warm-started from a corpus baked offline with the same sweep.
 	Corpus *CorpusBench `json:"corpus,omitempty"`
+	// Tracing, when present (-tracing), measures the request-tracing
+	// tax: warm request cost with the flight recorder on versus off,
+	// plus raw recorder admission throughput.
+	Tracing *TracingBench `json:"tracing,omitempty"`
+}
+
+// TracingBench is the tracing overhead measurement: warm /v1/checksum
+// requests driven straight through the handler (no network) on a
+// server with tracing disabled versus enabled at the default sample
+// rate. The overhead is the per-request delta expressed against the
+// 50 µs warm-request reference the instrumentation budget has used
+// since PR 7, so the gate does not wobble with how fast the checksum
+// itself happens to be on the measuring host.
+type TracingBench struct {
+	// Requests is the per-arm measured request count.
+	Requests int `json:"requests"`
+	// BaselineUS is microseconds per warm request with tracing off.
+	BaselineUS float64 `json:"baseline_us"`
+	// InstrumentedUS is the same request with the flight recorder on
+	// (256 traces, sample rate 0.1).
+	InstrumentedUS float64 `json:"instrumented_us"`
+	// ReferenceUS is the warm-request reference the overhead share is
+	// taken against (50).
+	ReferenceUS float64 `json:"reference_us"`
+	// OverheadPct is (InstrumentedUS-BaselineUS)/ReferenceUS * 100;
+	// the gate is <= 2.0.
+	OverheadPct float64 `json:"overhead_pct"`
+	// RecorderOpsPerSec is raw FlightRecorder.Record throughput over
+	// pre-built span trees with distinct trace IDs.
+	RecorderOpsPerSec float64 `json:"recorder_ops_per_sec"`
 }
 
 // CorpusBench is the warm-start measurement: one polynomial baked into
@@ -144,6 +177,7 @@ func run(args []string, out io.Writer) error {
 	budget := fs.Duration("budget", 50*time.Millisecond, "time budget per kernel+size measurement")
 	serveBench := fs.Bool("serve", false, "also measure serve-level batch amortization (64 small payloads batched vs sequential)")
 	corpusBench := fs.Bool("corpus", false, "also measure corpus warm-start: first /v1/evaluate cold vs restored from a baked corpus")
+	tracingBench := fs.Bool("tracing", false, "also measure request-tracing overhead: warm requests with the flight recorder on vs off, plus recorder ops/sec")
 	validate := fs.String("validate", "", "validate an existing report file and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -233,6 +267,16 @@ func run(args []string, out io.Writer) error {
 		rep.Corpus = cb
 		fmt.Fprintf(out, "corpus     %s/%d maxlen %d hd %d  cold %7.3fs  warm %7.3fs  speedup %6.1fx  warm probes %d\n",
 			cb.Poly, cb.Width, cb.MaxLen, cb.MaxHD, cb.ColdSeconds, cb.WarmSeconds, cb.Speedup, cb.WarmProbes)
+	}
+
+	if *tracingBench {
+		tb, err := measureTracing(*quick)
+		if err != nil {
+			return fmt.Errorf("tracing bench: %w", err)
+		}
+		rep.Tracing = tb
+		fmt.Fprintf(out, "tracing    %6d reqs  off %7.2fus  on %7.2fus  overhead %+5.2f%% of %gus  recorder %9.0f ops/s\n",
+			tb.Requests, tb.BaselineUS, tb.InstrumentedUS, tb.OverheadPct, tb.ReferenceUS, tb.RecorderOpsPerSec)
 	}
 
 	enc, err := json.MarshalIndent(&rep, "", "  ")
@@ -445,6 +489,118 @@ func measureCorpus(quick bool) (*CorpusBench, error) {
 	}, nil
 }
 
+// measureTracing drives warm /v1/checksum requests straight through
+// the handler — no listener, no network — against two servers that
+// differ only in tracing: recorder off versus on at the defaults
+// crcserve ships (256 traces, sample rate 0.1). Each arm takes the
+// minimum over several measurement blocks, the standard estimator for
+// shaving scheduler noise off a hot-loop timing. The recorder's raw
+// admission rate is measured separately over pre-built span trees with
+// distinct IDs, so sampling decisions vary the way live traffic's do.
+func measureTracing(quick bool) (*TracingBench, error) {
+	const refUS = 50.0
+	rounds, blocks := 20000, 10
+	if quick {
+		rounds = 4000
+	}
+	perBlock := rounds / blocks
+
+	mkArm := func(cfg serve.Config) (func() (float64, error), func(), error) {
+		srv, err := serve.New(cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		const body = `{"algorithm":"CRC-32C/iSCSI","text":"123456789"}`
+		do := func() int {
+			rec := httptest.NewRecorder()
+			srv.ServeHTTP(rec, httptest.NewRequest("POST", "/v1/checksum", strings.NewReader(body)))
+			return rec.Code
+		}
+		for i := 0; i < 200; i++ { // warm the engine and the allocator
+			if code := do(); code != http.StatusOK {
+				srv.Close()
+				return nil, nil, fmt.Errorf("warm checksum: %d", code)
+			}
+		}
+		block := func() (float64, error) {
+			start := time.Now()
+			for i := 0; i < perBlock; i++ {
+				if code := do(); code != http.StatusOK {
+					return 0, fmt.Errorf("checksum: %d", code)
+				}
+			}
+			return time.Since(start).Seconds() * 1e6 / float64(perBlock), nil
+		}
+		return block, srv.Close, nil
+	}
+
+	// The two arms run interleaved, one block each per round, and each
+	// takes its minimum — so a host whose clock drifts mid-measurement
+	// (turbo, thermal, a noisy neighbor on a shared VM) shifts both arms
+	// instead of silently inflating whichever ran second.
+	offBlock, offClose, err := mkArm(serve.Config{TraceBuffer: -1})
+	if err != nil {
+		return nil, err
+	}
+	defer offClose()
+	onBlock, onClose, err := mkArm(serve.Config{TraceBuffer: 256, TraceSampleRate: 0.1})
+	if err != nil {
+		return nil, err
+	}
+	defer onClose()
+	var baseline, instrumented float64
+	for b := 0; b < blocks; b++ {
+		off, err := offBlock()
+		if err != nil {
+			return nil, err
+		}
+		on, err := onBlock()
+		if err != nil {
+			return nil, err
+		}
+		if baseline == 0 || off < baseline {
+			baseline = off
+		}
+		if instrumented == 0 || on < instrumented {
+			instrumented = on
+		}
+	}
+
+	// Raw recorder admission rate over distinct trace IDs.
+	tds := make([]*obs.TraceData, 512)
+	for i := range tds {
+		tr := obs.NewTrace("/bench")
+		sp := tr.Root().StartChild("child")
+		sp.End()
+		tr.Root().End()
+		tds[i] = tr.Data()
+	}
+	rec := obs.NewFlightRecorder(256, 0.1)
+	budget := 500 * time.Millisecond
+	if quick {
+		budget = 100 * time.Millisecond
+	}
+	var ops int64
+	start := time.Now()
+	for time.Since(start) < budget {
+		rec.Record(tds[ops%int64(len(tds))])
+		ops++
+	}
+	opsPerSec := float64(ops) / time.Since(start).Seconds()
+
+	if baseline <= 0 || instrumented <= 0 || opsPerSec <= 0 {
+		return nil, fmt.Errorf("degenerate measurement: off %f, on %f us, %f ops/s", baseline, instrumented, opsPerSec)
+	}
+	return &TracingBench{
+		Requests:          rounds,
+		BaselineUS:        baseline,
+		InstrumentedUS:    instrumented,
+		ReferenceUS:       refUS,
+		OverheadPct:       (instrumented - baseline) / refUS * 100,
+		RecorderOpsPerSec: opsPerSec,
+	}, nil
+}
+
 // timeFirstEvaluate stands up an in-process crcserve with the config,
 // times one /v1/evaluate round trip, and returns it with the pool's
 // live engine probe total afterwards.
@@ -583,6 +739,23 @@ func validateReport(path string, out io.Writer) error {
 		}
 		corpusNote = fmt.Sprintf(", corpus warm-start %.0fx", cb.Speedup)
 	}
-	fmt.Fprintf(out, "%s: valid (%d kernels, %d measurements%s%s)\n", path, len(sizesByKernel), len(rep.Results), serveNote, corpusNote)
+	tracingNote := ""
+	if tb := rep.Tracing; tb != nil {
+		if tb.Requests <= 0 {
+			return fmt.Errorf("%s: tracing: non-positive request count %d", path, tb.Requests)
+		}
+		if tb.BaselineUS <= 0 || tb.InstrumentedUS <= 0 || tb.ReferenceUS <= 0 || tb.RecorderOpsPerSec <= 0 {
+			return fmt.Errorf("%s: tracing: non-positive measurement %+v", path, tb)
+		}
+		want := (tb.InstrumentedUS - tb.BaselineUS) / tb.ReferenceUS * 100
+		if d := tb.OverheadPct - want; d < -0.05 || d > 0.05 {
+			return fmt.Errorf("%s: tracing: overhead %.3f%% inconsistent with (on-off)/reference %.3f%%", path, tb.OverheadPct, want)
+		}
+		if tb.OverheadPct > 2.0 {
+			return fmt.Errorf("%s: tracing: overhead %.3f%% exceeds the 2%% gate", path, tb.OverheadPct)
+		}
+		tracingNote = fmt.Sprintf(", tracing overhead %+.2f%%", tb.OverheadPct)
+	}
+	fmt.Fprintf(out, "%s: valid (%d kernels, %d measurements%s%s%s)\n", path, len(sizesByKernel), len(rep.Results), serveNote, corpusNote, tracingNote)
 	return nil
 }

@@ -12,6 +12,7 @@
 //	         [-cert server.crt -key server.key]
 //	         [-pprof 127.0.0.1:6060] [-remeasure 1h]
 //	         [-corpus /var/lib/crc/corpus]
+//	         [-traces 256] [-tracesample 0.1] [-accesslog]
 //
 // -token enables bearer-token auth (constant-time comparison) on every
 // endpoint except /healthz; -cert/-key switch the listener to TLS. The
@@ -40,6 +41,17 @@
 // answers with zero engine probes) and newly computed memos are
 // persisted back write-behind. The directory is crash-safe — torn or
 // corrupt journal tails are truncated at open, never served.
+//
+// -traces sizes the in-process flight recorder (0 disables tracing
+// entirely). Every request builds a span tree — pool acquire,
+// singleflight join, corpus warm-start, engine phases — and completed
+// traces are tail-sampled into the recorder: errored requests and the
+// slowest few per endpoint are always retained, the rest kept with
+// probability -tracesample. Retained traces are served at
+// GET /v1/traces and /v1/traces/{id} (behind -token like the rest of
+// the API) and linked from Prometheus latency buckets via OpenMetrics
+// exemplars. -accesslog adds one structured log line per retained
+// request.
 package main
 
 import (
@@ -90,6 +102,9 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this separate address (bare :port binds loopback; empty = off)")
 	remeasure := fs.Duration("remeasure", 0, "re-run the kernel micro-benchmark at this interval and track profile drift (0 = off)")
 	corpusDir := fs.String("corpus", "", "persistent analysis corpus directory: warm-start sessions from baked memos (see crcbake) and persist new ones write-behind (empty = off)")
+	traces := fs.Int("traces", 256, "flight-recorder capacity in retained traces (0 = tracing off)")
+	traceSample := fs.Float64("tracesample", 0.1, "tail-sampling keep probability for ordinary traces; errored and slowest-per-endpoint are always kept (0 = keep only those)")
+	accessLog := fs.Bool("accesslog", false, "emit one structured access-log line per request whose trace the recorder retained")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -99,19 +114,38 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if *remeasure != 0 && *remeasure < time.Second {
 		return errors.New("-remeasure interval must be at least 1s")
 	}
+	if *traces < 0 {
+		return errors.New("-traces must be >= 0")
+	}
+	if *traceSample < 0 || *traceSample > 1 {
+		return errors.New("-tracesample must be in [0, 1]")
+	}
+	// The Config zero values mean "use the default", so "off" is spelled
+	// negative when translating the flags.
+	traceBuffer := *traces
+	if traceBuffer == 0 {
+		traceBuffer = -1
+	}
+	sampleRate := *traceSample
+	if sampleRate == 0 {
+		sampleRate = -1
+	}
 
 	srv, err := serve.New(serve.Config{
-		PoolSize:       *pool,
-		MaxLenCap:      *maxLen,
-		MaxHDCap:       *maxHD,
-		Timeout:        *timeout,
-		Token:          *token,
-		MaxBodyBytes:   *maxBody,
-		MaxBatchItems:  *maxBatchItems,
-		MaxBatchBytes:  *maxBatchBytes,
-		MaxStreamBytes: *maxStreamBytes,
-		Limits:         koopmancrc.Limits{MaxProbes: *maxProbes},
-		CorpusDir:      *corpusDir,
+		PoolSize:        *pool,
+		MaxLenCap:       *maxLen,
+		MaxHDCap:        *maxHD,
+		Timeout:         *timeout,
+		Token:           *token,
+		MaxBodyBytes:    *maxBody,
+		MaxBatchItems:   *maxBatchItems,
+		MaxBatchBytes:   *maxBatchBytes,
+		MaxStreamBytes:  *maxStreamBytes,
+		Limits:          koopmancrc.Limits{MaxProbes: *maxProbes},
+		CorpusDir:       *corpusDir,
+		TraceBuffer:     traceBuffer,
+		TraceSampleRate: sampleRate,
+		AccessLog:       *accessLog,
 	})
 	if err != nil {
 		return err

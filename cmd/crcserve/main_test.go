@@ -321,6 +321,68 @@ func TestServeRemeasureDrift(t *testing.T) {
 	t.Fatal("no remeasure run recorded within deadline")
 }
 
+// TestServeTracingFlags wires -traces/-tracesample through the binary:
+// at sample rate 1 a request's X-Trace-ID resolves on /v1/traces/{id}
+// and the list endpoint sees it; -traces 0 switches tracing off.
+func TestServeTracingFlags(t *testing.T) {
+	url, stop := startServe(t, "-tracesample", "1")
+	defer stop()
+
+	resp, err := http.Post(url+"/v1/checksum", "application/json",
+		strings.NewReader(`{"algorithm":"CRC-32/IEEE-802.3","text":"123456789"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	traceID := resp.Header.Get("X-Trace-ID")
+	if resp.StatusCode != http.StatusOK || traceID == "" {
+		t.Fatalf("checksum: %d, X-Trace-ID %q", resp.StatusCode, traceID)
+	}
+
+	one, err := http.Get(url + "/v1/traces/" + traceID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(one.Body)
+	one.Body.Close()
+	if one.StatusCode != http.StatusOK || !bytes.Contains(body, []byte(`"/v1/checksum"`)) {
+		t.Fatalf("trace lookup: %d %s", one.StatusCode, body)
+	}
+	list, err := http.Get(url + "/v1/traces?endpoint=/v1/checksum")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(list.Body)
+	list.Body.Close()
+	if list.StatusCode != http.StatusOK || !bytes.Contains(body, []byte(traceID)) {
+		t.Fatalf("trace list: %d %s", list.StatusCode, body)
+	}
+}
+
+func TestServeTracingDisabled(t *testing.T) {
+	url, stop := startServe(t, "-traces", "0")
+	defer stop()
+
+	resp, err := http.Get(url + "/v1/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("/v1/traces with -traces 0: %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestServeTracingFlagValidation(t *testing.T) {
+	if err := run(context.Background(), []string{"-traces", "-1"}, io.Discard); err == nil {
+		t.Error("negative -traces should error")
+	}
+	if err := run(context.Background(), []string{"-tracesample", "1.5"}, io.Discard); err == nil {
+		t.Error("-tracesample above 1 should error")
+	}
+}
+
 func TestServeRemeasureIntervalValidation(t *testing.T) {
 	if err := run(context.Background(), []string{"-remeasure", "10ms"}, io.Discard); err == nil {
 		t.Error("sub-second -remeasure should error")

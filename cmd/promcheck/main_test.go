@@ -3,6 +3,7 @@ package main
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -34,5 +35,48 @@ func TestRunFile(t *testing.T) {
 	}
 	if err := run([]string{filepath.Join(dir, "missing.txt")}); err == nil {
 		t.Error("missing file should error")
+	}
+}
+
+// exemplarDoc is a valid exposition carrying OpenMetrics exemplars in
+// both allowed positions: a histogram bucket (with and without a
+// timestamp) and a counter.
+const exemplarDoc = `# HELP req_seconds Request latency.
+# TYPE req_seconds histogram
+req_seconds_bucket{endpoint="/v1/evaluate",le="0.01"} 1 # {trace_id="4bf92f3577b34da6"} 0.004
+req_seconds_bucket{endpoint="/v1/evaluate",le="+Inf"} 2 # {trace_id="0af7651916cd43dd"} 0.2 1690000000.123
+req_seconds_sum{endpoint="/v1/evaluate"} 0.204
+req_seconds_count{endpoint="/v1/evaluate"} 2
+# HELP hits_total Requests served.
+# TYPE hits_total counter
+hits_total 5 # {trace_id="4bf92f3577b34da6"} 1
+`
+
+func TestRunExemplars(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "exemplars.txt")
+	if err := os.WriteFile(good, []byte(exemplarDoc), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{good}); err != nil {
+		t.Errorf("exposition with exemplars rejected: %v", err)
+	}
+
+	rejects := map[string]string{
+		"exemplar on gauge": "# HELP g A gauge.\n# TYPE g gauge\ng 1 # {trace_id=\"abc\"} 1\n",
+		"no label set":      "# HELP c_total C.\n# TYPE c_total counter\nc_total 1 # 0.004\n",
+		"bad value":         "# HELP c_total C.\n# TYPE c_total counter\nc_total 1 # {trace_id=\"abc\"} nope\n",
+		"bad timestamp":     "# HELP c_total C.\n# TYPE c_total counter\nc_total 1 # {trace_id=\"abc\"} 1 later\n",
+		"oversized labels": "# HELP c_total C.\n# TYPE c_total counter\nc_total 1 # {trace_id=\"" +
+			strings.Repeat("a", 130) + "\"} 1\n",
+	}
+	for name, doc := range rejects {
+		f := filepath.Join(dir, "reject.txt")
+		if err := os.WriteFile(f, []byte(doc), 0o600); err != nil {
+			t.Fatal(err)
+		}
+		if err := run([]string{f}); err == nil {
+			t.Errorf("%s: malformed exemplar accepted", name)
+		}
 	}
 }

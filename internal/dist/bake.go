@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"koopmancrc"
+	"koopmancrc/internal/obs"
 	"koopmancrc/internal/poly"
 )
 
@@ -67,6 +68,11 @@ type BakeConfig struct {
 	Limits koopmancrc.Limits
 	// Logf, when set, receives one progress line per polynomial.
 	Logf func(format string, args ...any)
+	// Recorder, when non-nil, receives one trace per polynomial — a
+	// "bake" root with the analyzer's engine phases as leaf spans, the
+	// evaluation error on failures — so a long sweep's slowest and
+	// failed polynomials stay inspectable afterwards.
+	Recorder *obs.FlightRecorder
 }
 
 // BakeSummary reports one bake run.
@@ -166,9 +172,31 @@ func bakeOne(ctx context.Context, spec BakeSpec, sink BakeSink, cfg BakeConfig, 
 	if err != nil {
 		return false, 0, err
 	}
+	var root *obs.Span
+	if cfg.Recorder != nil {
+		tr := obs.NewTrace("bake")
+		root = tr.Root()
+		root.SetAttr("poly", fmt.Sprintf("%#x", k))
+		root.SetAttr("width", fmt.Sprintf("%d", spec.Width))
+		defer func() {
+			if err != nil {
+				root.SetError(err.Error())
+			}
+			root.End()
+			cfg.Recorder.Record(tr.Data())
+		}()
+	}
 	opts := []koopmancrc.Option{koopmancrc.WithLimits(cfg.Limits)}
 	if spec.MaxHD > 0 {
 		opts = append(opts, koopmancrc.WithMaxHD(spec.MaxHD))
+	}
+	if root != nil {
+		opts = append(opts, koopmancrc.WithSpans(func(_ context.Context, sp koopmancrc.Span) {
+			root.AddLeaf("engine."+sp.Phase, sp.Duration,
+				obs.Attr{K: "weight", V: fmt.Sprintf("%d", sp.Weight)},
+				obs.Attr{K: "data_len", V: fmt.Sprintf("%d", sp.DataLen)},
+				obs.Attr{K: "probes", V: fmt.Sprintf("%d", sp.Probes)})
+		}))
 	}
 	a := koopmancrc.NewAnalyzer(p, opts...)
 

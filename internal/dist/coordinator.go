@@ -11,6 +11,7 @@ import (
 
 	"koopmancrc/internal/core"
 	"koopmancrc/internal/journal"
+	"koopmancrc/internal/obs"
 	"koopmancrc/internal/poly"
 )
 
@@ -64,9 +65,11 @@ type CoordinatorConfig struct {
 	// DebugAddr, when non-empty, starts a read-only HTTP telemetry
 	// listener on that address (e.g. "127.0.0.1:0"): /metrics serves the
 	// live ledger — per-worker EWMA rates and grant sizes, lease ages,
-	// requeue and coverage counters — in Prometheus text exposition, and
-	// /healthz answers liveness probes. The listener is unauthenticated;
-	// bind it to loopback or an operator network.
+	// requeue and coverage counters — in Prometheus text exposition,
+	// /v1/traces and /v1/traces/{id} serve the per-job trace recorder
+	// (one span tree per grant, spanning coordinator → worker → pipeline
+	// stages), and /healthz answers liveness probes. The listener is
+	// unauthenticated; bind it to loopback or an operator network.
 	DebugAddr string
 }
 
@@ -113,6 +116,12 @@ type job struct {
 	// inherits (or double-counts) a dead worker's progress.
 	progress   uint64
 	progressAt time.Time
+	// traceID / rootSpan / grantedAt are the lease's trace context,
+	// minted fresh on every grant (a requeued job gets a new trace — its
+	// old one is recorded as errored when the lease expires).
+	traceID   string
+	rootSpan  string
+	grantedAt time.Time
 }
 
 // rateAlpha is the EWMA weight of a new throughput sample; samples come
@@ -215,6 +224,7 @@ type Coordinator struct {
 	stages       []core.StageStats
 	workers      map[string]*workerStat
 	summary      *Summary
+	recorder     *obs.FlightRecorder // per-job traces behind Traces()/DebugAddr
 	conns        map[net.Conn]struct{}
 	jnl          *journal.Journal
 	appendsSince int
@@ -268,6 +278,7 @@ func NewCoordinator(addr string, cfg CoordinatorConfig) (*Coordinator, error) {
 		cfg:      cfg,
 		total:    space.TotalPolynomials(),
 		workers:  make(map[string]*workerStat),
+		recorder: obs.NewFlightRecorder(traceCapacity, 1),
 		conns:    make(map[net.Conn]struct{}),
 		started:  time.Now(),
 		doneCh:   make(chan struct{}),
@@ -460,6 +471,12 @@ func (c *Coordinator) leaseLoop() {
 					rq := requeueRec{JobID: j.id, Worker: j.worker, TS: now.UnixNano()}
 					c.requeueLog = appendRequeue(c.requeueLog, rq)
 					c.jnlAppendLocked(recRequeue, rq, false)
+					// The expired lease's trace is recorded as errored —
+					// pinned by the recorder, so a flaky fleet's lost jobs
+					// stay inspectable at /v1/traces long after the sweep
+					// moved on (the requeue mints a fresh trace).
+					c.recorder.Record(assembleJobTrace(j, j.worker,
+						"lease expired; job requeued", nil, now))
 					c.cfg.Logf("dist: lease expired on job %d [%d,%d) held by %q; requeued",
 						j.id, j.start, j.end, j.worker)
 				}
@@ -647,6 +664,9 @@ func (c *Coordinator) grantLocked(j *job, worker string) *message {
 	j.deadline = now.Add(c.cfg.LeaseTimeout)
 	j.progress = 0
 	j.progressAt = now
+	j.traceID = obs.NewTraceID()
+	j.rootSpan = obs.NewSpanID()
+	j.grantedAt = now
 	c.jnlAppendLocked(recGrant, grantRec{
 		JobID: j.id, Worker: worker, Start: j.start, End: j.end, TS: now.UnixNano(),
 	}, false)
@@ -654,6 +674,7 @@ func (c *Coordinator) grantLocked(j *job, worker string) *message {
 	return &message{
 		Type: msgJob, JobID: j.id, Spec: &spec, Start: j.start, End: j.end,
 		LeaseNS: int64(c.cfg.LeaseTimeout), BatchOK: true,
+		TraceID: j.traceID, ParentSpan: j.rootSpan,
 	}
 }
 
@@ -681,6 +702,12 @@ func (c *Coordinator) recordResult(m *message) error {
 	}
 	j.state = jobDone
 	j.worker = m.Worker
+	// Stitch the worker's wire spans under the grant's root and retain
+	// the job's trace. A worker that predates tracing sends no spans; the
+	// trace still records the grant → result envelope.
+	if j.traceID != "" {
+		c.recorder.Record(assembleJobTrace(j, m.Worker, "", m.Spans, time.Now()))
+	}
 	c.canonical += m.Canonical
 	c.doneIdx += j.end - j.start
 	c.survivors = append(c.survivors, survivors...)

@@ -1,6 +1,7 @@
 package dist
 
 import (
+	"encoding/json"
 	"net"
 	"net/http"
 	"time"
@@ -11,9 +12,12 @@ import (
 // startDebug opens the coordinator's optional telemetry listener: a
 // plain HTTP server with /metrics in Prometheus text exposition (the
 // live ledger — per-worker EWMA rates and grant sizes, lease ages of
-// assigned jobs, requeue and coverage counters) and /healthz for
-// liveness probes. The endpoint is read-only and unauthenticated, so it
-// belongs on loopback or an operator network, never the open internet.
+// assigned jobs, requeue and coverage counters), /v1/traces and
+// /v1/traces/{id} serving the per-job trace recorder (grant → worker →
+// pipeline-stage span trees; expired leases retained as errored), and
+// /healthz for liveness probes. The endpoint is read-only and
+// unauthenticated, so it belongs on loopback or an operator network,
+// never the open internet.
 func (c *Coordinator) startDebug(addr string) error {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -28,6 +32,32 @@ func (c *Coordinator) startDebug(addr string) error {
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("GET /v1/traces", func(w http.ResponseWriter, r *http.Request) {
+		f := obs.TraceFilter{Limit: 100}
+		q := r.URL.Query()
+		if v := q.Get("error"); v == "true" || v == "1" {
+			f.ErrorsOnly = true
+		}
+		if v := q.Get("min_duration"); v != "" {
+			if d, err := time.ParseDuration(v); err == nil {
+				f.MinDuration = d
+			}
+		}
+		traces := c.recorder.Summaries(f)
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(map[string]any{
+			"count": len(traces), "traces": traces,
+		})
+	})
+	mux.HandleFunc("GET /v1/traces/{id}", func(w http.ResponseWriter, r *http.Request) {
+		td, ok := c.recorder.Get(r.PathValue("id"))
+		if !ok {
+			http.Error(w, `{"error":"trace not found"}`, http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(td)
 	})
 	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
 	c.wg.Add(1)

@@ -1,0 +1,18 @@
+package dist
+
+import (
+	"time"
+
+	"koopmancrc/internal/obs"
+)
+
+// AssembleJobTraceForTest exposes the wire-span stitcher so package
+// dist_test can feed it hostile worker input directly.
+func AssembleJobTraceForTest(rootSpan string, spans []WireSpan) *obs.TraceData {
+	j := &job{
+		traceID:   obs.NewTraceID(),
+		rootSpan:  rootSpan,
+		grantedAt: time.Now().Add(-time.Millisecond),
+	}
+	return assembleJobTrace(j, "test-worker", "", spans, time.Now())
+}

@@ -134,6 +134,15 @@ type message struct {
 	// for logging without decompression.
 	Batch string `json:"batch,omitempty"`
 	Count int    `json:"count,omitempty"`
+	// TraceID and ParentSpan, on a job message, propagate the
+	// coordinator's per-grant trace context; the worker echoes TraceID on
+	// the result and parents its spans under ParentSpan. Spans, on a
+	// result, carries the worker's completed spans for coordinator-side
+	// assembly. All three are ignored by peers that predate tracing, so
+	// mixed fleets interoperate (see trace.go).
+	TraceID    string     `json:"trace_id,omitempty"`
+	ParentSpan string     `json:"parent_span,omitempty"`
+	Spans      []WireSpan `json:"spans,omitempty"`
 }
 
 // maxBatchResults bounds how many results one result_batch may carry —

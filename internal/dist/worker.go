@@ -6,10 +6,12 @@ import (
 	"log/slog"
 	"net"
 	"os"
+	"strconv"
 	"sync/atomic"
 	"time"
 
 	"koopmancrc/internal/core"
+	"koopmancrc/internal/obs"
 )
 
 // WorkerConfig tunes a Worker.
@@ -229,6 +231,7 @@ func (w *Worker) runJob(ctx context.Context, wr *wire, m *message, alsoRenew []u
 		defer close(stopHB)
 		go w.heartbeat(wr, m.JobID, time.Duration(m.LeaseNS), &progress, stopHB, alsoRenew)
 	}
+	started := time.Now()
 	res, err := pl.Run(ctx, m.Start, m.End)
 	if err != nil {
 		return nil, fmt.Errorf("dist: worker %s: job %d: %w", w.cfg.ID, m.JobID, err)
@@ -243,7 +246,7 @@ func (w *Worker) runJob(ctx context.Context, wr *wire, m *message, alsoRenew []u
 	for i, p := range res.Survivors {
 		survivors[i] = p.Koopman()
 	}
-	return &message{
+	out := &message{
 		Type:      msgResult,
 		Worker:    w.cfg.ID,
 		JobID:     m.JobID,
@@ -251,7 +254,34 @@ func (w *Worker) runJob(ctx context.Context, wr *wire, m *message, alsoRenew []u
 		Survivors: survivors,
 		ElapsedNS: res.Elapsed.Nanoseconds(),
 		Stages:    toWireStages(res.Stages),
-	}, nil
+	}
+	if m.TraceID != "" {
+		// A traced grant: report the compute as wire spans — one
+		// "worker.job" span under the coordinator's root, one child per
+		// pipeline stage — for coordinator-side tree assembly.
+		js := WireSpan{
+			ID: obs.NewSpanID(), Parent: m.ParentSpan, Name: "worker.job",
+			StartNS: started.UnixNano(), DurNS: res.Elapsed.Nanoseconds(),
+			Attrs: []obs.Attr{
+				{K: "worker", V: w.cfg.ID},
+				{K: "canonical", V: strconv.FormatUint(res.Canonical, 10)},
+				{K: "survivors", V: strconv.Itoa(len(res.Survivors))},
+			},
+		}
+		out.TraceID = m.TraceID
+		out.Spans = append(out.Spans, js)
+		for _, st := range res.Stages {
+			out.Spans = append(out.Spans, WireSpan{
+				ID: obs.NewSpanID(), Parent: js.ID, Name: "stage." + st.Name,
+				StartNS: started.UnixNano(), DurNS: st.Elapsed.Nanoseconds(),
+				Attrs: []obs.Attr{
+					{K: "in", V: strconv.FormatUint(st.In, 10)},
+					{K: "out", V: strconv.FormatUint(st.Out, 10)},
+				},
+			})
+		}
+	}
+	return out, nil
 }
 
 // heartbeat renews the lease on jobID every lease/3 until stop closes,

@@ -42,6 +42,14 @@ func CheckExposition(r io.Reader) error {
 			return fmt.Errorf("line %d: %w", lineNo, err)
 		}
 		fam := familyOf(s.name, types)
+		if s.exemplar != nil {
+			// OpenMetrics allows exemplars on histogram buckets and
+			// counters only; this repository emits them on buckets.
+			bucketOK := types[fam] == "histogram" && strings.HasSuffix(s.name, "_bucket")
+			if !bucketOK && types[fam] != "counter" {
+				return fmt.Errorf("line %d: exemplar on non-bucket, non-counter sample %s", lineNo, s.name)
+			}
+		}
 		sawSample[fam] = struct{}{}
 		key := s.name + "\xfe" + s.labelKey(true)
 		if _, dup := seen[key]; dup {
@@ -104,8 +112,15 @@ func checkComment(line string, types map[string]string, sawSample map[string]str
 
 // sample is one parsed exposition line.
 type sample struct {
-	name   string
-	labels [][2]string // name, decoded value — in input order
+	name     string
+	labels   [][2]string // name, decoded value — in input order
+	value    float64
+	exemplar *exemplarSample // OpenMetrics trailer, when present
+}
+
+// exemplarSample is a parsed `# {labels} value [timestamp]` trailer.
+type exemplarSample struct {
+	labels [][2]string
 	value  float64
 }
 
@@ -134,7 +149,8 @@ func (s *sample) le() (string, bool) {
 	return "", false
 }
 
-// parseSample parses `name{labels} value [timestamp]`.
+// parseSample parses `name{labels} value [timestamp]`, with an optional
+// OpenMetrics exemplar trailer (`# {labels} value [timestamp]`).
 func parseSample(line string) (*sample, error) {
 	s := &sample{}
 	i := 0
@@ -154,6 +170,16 @@ func parseSample(line string) (*sample, error) {
 		line = rest
 	} else {
 		line = line[i:]
+	}
+	// The exemplar separator is only looked for past the label set, so a
+	// label value containing " # " cannot be misread as a trailer.
+	if idx := strings.Index(line, " # "); idx >= 0 {
+		ex, err := parseExemplar(line[idx+3:])
+		if err != nil {
+			return nil, fmt.Errorf("%w in %q", err, line)
+		}
+		s.exemplar = ex
+		line = line[:idx]
 	}
 	fields := strings.Fields(line)
 	if len(fields) < 1 || len(fields) > 2 {
@@ -240,6 +266,40 @@ func parseLabels(in string) (rest string, labels [][2]string, err error) {
 	done:
 		labels = append(labels, [2]string{name, val.String()})
 	}
+}
+
+// parseExemplar parses the OpenMetrics trailer after "# ": a label set,
+// a value, and an optional float timestamp. The label set must obey the
+// spec's 128-rune budget across names and values combined.
+func parseExemplar(in string) (*exemplarSample, error) {
+	if len(in) == 0 || in[0] != '{' {
+		return nil, fmt.Errorf("exemplar needs a {label} set, got %q", in)
+	}
+	rest, labels, err := parseLabels(in)
+	if err != nil {
+		return nil, fmt.Errorf("exemplar labels: %w", err)
+	}
+	runes := 0
+	for _, l := range labels {
+		runes += len([]rune(l[0])) + len([]rune(l[1]))
+	}
+	if runes > 128 {
+		return nil, fmt.Errorf("exemplar label set is %d runes, exceeding the 128-rune budget", runes)
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return nil, fmt.Errorf("expected exemplar value [timestamp], got %q", rest)
+	}
+	v, err := parseFloat(fields[0])
+	if err != nil {
+		return nil, fmt.Errorf("bad exemplar value %q", fields[0])
+	}
+	if len(fields) == 2 {
+		if _, err := strconv.ParseFloat(fields[1], 64); err != nil {
+			return nil, fmt.Errorf("bad exemplar timestamp %q", fields[1])
+		}
+	}
+	return &exemplarSample{labels: labels, value: v}, nil
 }
 
 func isNameByte(c byte, first bool) bool {

@@ -82,12 +82,21 @@ type Histogram struct {
 	buckets []atomic.Int64
 	count   atomic.Int64
 	sum     atomic.Uint64 // float64 bits
+	// exemplars holds the latest exemplar per bucket (last slot = +Inf),
+	// published via ObserveExemplar and rendered as OpenMetrics exemplar
+	// trailers on the bucket lines.
+	exemplars []atomic.Pointer[exemplar]
 }
 
-// Observe records one value.
-func (h *Histogram) Observe(v float64) {
-	// Binary search: smallest bound >= v. Values beyond every bound
-	// belong only to +Inf (tracked by count).
+// exemplar links one observed value to the trace that produced it.
+type exemplar struct {
+	traceID string
+	value   float64
+}
+
+// bucketIndex returns the index of the smallest bound >= v, or
+// len(bounds) for the implicit +Inf bucket.
+func (h *Histogram) bucketIndex(v float64) int {
 	lo, hi := 0, len(h.bounds)
 	for lo < hi {
 		mid := (lo + hi) / 2
@@ -97,8 +106,14 @@ func (h *Histogram) Observe(v float64) {
 			lo = mid + 1
 		}
 	}
-	if lo < len(h.bounds) {
-		h.buckets[lo].Add(1)
+	return lo
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	// Values beyond every bound belong only to +Inf (tracked by count).
+	if i := h.bucketIndex(v); i < len(h.bounds) {
+		h.buckets[i].Add(1)
 	}
 	h.count.Add(1)
 	for {
@@ -108,6 +123,18 @@ func (h *Histogram) Observe(v float64) {
 			return
 		}
 	}
+}
+
+// ObserveExemplar records one value and attaches the trace ID as the
+// bucket's exemplar: the exposition then links the bucket to a concrete
+// retained trace (`... # {trace_id="..."} value`). Call it only for
+// traces the flight recorder actually kept, so every exemplar a scrape
+// shows resolves via /v1/traces/{id}.
+func (h *Histogram) ObserveExemplar(v float64, traceID string) {
+	if traceID != "" {
+		h.exemplars[h.bucketIndex(v)].Store(&exemplar{traceID: traceID, value: v})
+	}
+	h.Observe(v)
 }
 
 // Count returns the number of observations.
@@ -149,7 +176,11 @@ func (v *HistogramVec) With(values ...string) *Histogram {
 }
 
 func newHistogram(bounds []float64) *Histogram {
-	return &Histogram{bounds: bounds, buckets: make([]atomic.Int64, len(bounds))}
+	return &Histogram{
+		bounds:    bounds,
+		buckets:   make([]atomic.Int64, len(bounds)),
+		exemplars: make([]atomic.Pointer[exemplar], len(bounds)+1),
+	}
 }
 
 // ExpBuckets returns n log-spaced histogram bounds starting at start,
@@ -393,16 +424,38 @@ func sortedSeries(m *sync.Map) []series {
 func writeHistogram(b *strings.Builder, name string, labels, values []string, h *Histogram) {
 	cum, count, sum := h.snapshot()
 	for i, bound := range h.bounds {
-		writeSample(b, name+"_bucket", formatFloat(bound), labels, values, float64(cum[i]))
+		writeBucket(b, name, formatFloat(bound), labels, values, float64(cum[i]), h.exemplars[i].Load())
 	}
-	writeSample(b, name+"_bucket", "+Inf", labels, values, float64(count))
+	writeBucket(b, name, "+Inf", labels, values, float64(count), h.exemplars[len(h.bounds)].Load())
 	writeSample(b, name+"_sum", "", labels, values, sum)
 	writeSample(b, name+"_count", "", labels, values, float64(count))
+}
+
+// writeBucket emits one cumulative bucket line, with the bucket's latest
+// exemplar as an OpenMetrics trailer when one has been recorded.
+func writeBucket(b *strings.Builder, name, le string, labels, values []string, v float64, ex *exemplar) {
+	if ex == nil {
+		writeSample(b, name+"_bucket", le, labels, values, v)
+		return
+	}
+	writeSampleBare(b, name+"_bucket", le, labels, values, v)
+	b.WriteString(` # {trace_id="`)
+	b.WriteString(escapeLabel(ex.traceID))
+	b.WriteString(`"} `)
+	b.WriteString(formatFloat(ex.value))
+	b.WriteByte('\n')
 }
 
 // writeSample emits one exposition line. le, when non-empty, is appended
 // as the trailing bucket label.
 func writeSample(b *strings.Builder, name, le string, labels, values []string, v float64) {
+	writeSampleBare(b, name, le, labels, values, v)
+	b.WriteByte('\n')
+}
+
+// writeSampleBare is writeSample without the line terminator, so bucket
+// lines can append an exemplar trailer.
+func writeSampleBare(b *strings.Builder, name, le string, labels, values []string, v float64) {
 	b.WriteString(name)
 	if len(values) > 0 || le != "" {
 		b.WriteByte('{')
@@ -429,7 +482,6 @@ func writeSample(b *strings.Builder, name, le string, labels, values []string, v
 	}
 	b.WriteByte(' ')
 	b.WriteString(formatFloat(v))
-	b.WriteByte('\n')
 }
 
 // escapeLabel escapes a label value exactly as the exposition format

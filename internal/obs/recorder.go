@@ -1,0 +1,347 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// FlightRecorder retains completed traces in a bounded ring with tail
+// sampling: the retention decision is made when the trace finishes, so
+// the traces worth debugging — errored ones and the slowest K per
+// endpoint — are always kept, while the healthy fast majority is down-
+// sampled probabilistically. Eviction is clock-style: when the ring is
+// full the hand advances past pinned entries (errored or currently
+// slowest-K) and overwrites the first unpinned one, falling back to the
+// oldest pinned entry only when everything is pinned.
+//
+// All operations take one short mutex; Record is O(1) amortized (the
+// clock hand moves at most once around per insert), so recording stays
+// off the measurable part of the request path.
+type FlightRecorder struct {
+	mu         sync.Mutex
+	capacity   int
+	sampleRate float64
+	slowK      int
+
+	entries []*recEntry          // ring slots, nil until filled
+	filled  int                  // occupied slots, so a full ring skips the empty-slot scan
+	hand    int                  // next eviction-scan position
+	byID    map[string]*recEntry // trace id -> live entry
+	slow    map[string][]*recEntry
+
+	seq      uint64 // insertion order stamp
+	rng      uint64 // splitmix64 state for the probabilistic sample
+	recorded uint64
+	kept     uint64
+	evicted  uint64
+}
+
+// recEntry is one ring slot. pinnedErr never clears; pinnedSlow clears
+// when a faster trace displaces this one from its endpoint's slowest-K
+// set, making the entry evictable again.
+type recEntry struct {
+	td         *TraceData
+	seq        uint64
+	slot       int
+	pinnedErr  bool
+	pinnedSlow bool
+}
+
+// slowKDefault is how many slowest traces per endpoint stay pinned.
+const slowKDefault = 8
+
+// NewFlightRecorder returns a recorder retaining at most capacity traces
+// (minimum 16 enforced so the slowest-K pins cannot starve the ring) and
+// keeping healthy fast traces with probability sampleRate (clamped to
+// [0, 1]).
+func NewFlightRecorder(capacity int, sampleRate float64) *FlightRecorder {
+	if capacity < 16 {
+		capacity = 16
+	}
+	if sampleRate < 0 {
+		sampleRate = 0
+	}
+	if sampleRate > 1 {
+		sampleRate = 1
+	}
+	return &FlightRecorder{
+		capacity:   capacity,
+		sampleRate: sampleRate,
+		slowK:      slowKDefault,
+		entries:    make([]*recEntry, capacity),
+		byID:       make(map[string]*recEntry, capacity),
+		slow:       make(map[string][]*recEntry),
+		rng:        ridSeq.Add(1), // random-based seed, free of crypto/rand per recorder
+	}
+}
+
+// Record applies the tail-sampling decision to a completed trace and,
+// when it is retained, stores it (stamping td.Retained with the reason:
+// "error", "slow" or "sampled"). td must not be mutated afterwards.
+func (r *FlightRecorder) Record(td *TraceData) (retained bool, reason string) {
+	if r == nil || td == nil {
+		return false, ""
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.recorded++
+	isErr := td.Error != ""
+	isSlow := r.qualifiesSlowLocked(td.Name, td.DurationNS)
+	switch {
+	case isErr:
+		reason = "error"
+	case isSlow:
+		reason = "slow"
+	case r.randLocked() < r.sampleRate:
+		reason = "sampled"
+	default:
+		return false, ""
+	}
+	td.Retained = reason
+	e := &recEntry{td: td, seq: r.seq, pinnedErr: isErr}
+	r.seq++
+	r.insertLocked(e)
+	if isSlow {
+		r.pinSlowLocked(e)
+	}
+	r.kept++
+	return true, reason
+}
+
+// RecordTrace applies the same tail-sampling decision to a completed
+// live trace, but snapshots the span tree only when the trace is
+// retained: the dropped majority pays for the decision (one short
+// lock over three scalar fields), never for Data. Call after
+// Root().End(). The decision and the insert are two lock acquisitions;
+// between them another trace can enter the slowest-K set, so a trace
+// that qualified as "slow" may pin in at the set's edge — a benign
+// race that at worst keeps one borderline trace.
+func (r *FlightRecorder) RecordTrace(tr *Trace) (retained bool, reason string) {
+	if r == nil || tr == nil {
+		return false, ""
+	}
+	name, durNS, errMsg := tr.rootState()
+	isErr := errMsg != ""
+	r.mu.Lock()
+	r.recorded++
+	isSlow := r.qualifiesSlowLocked(name, durNS)
+	switch {
+	case isErr:
+		reason = "error"
+	case isSlow:
+		reason = "slow"
+	case r.randLocked() < r.sampleRate:
+		reason = "sampled"
+	default:
+		r.mu.Unlock()
+		return false, ""
+	}
+	r.mu.Unlock()
+
+	td := tr.Data() // takes the trace lock; must not nest inside r.mu
+	td.Retained = reason
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e := &recEntry{td: td, seq: r.seq, pinnedErr: isErr}
+	r.seq++
+	r.insertLocked(e)
+	if isSlow {
+		r.pinSlowLocked(e)
+	}
+	r.kept++
+	return true, reason
+}
+
+// qualifiesSlowLocked reports whether a trace with this endpoint name
+// and duration would enter the endpoint's slowest-K set.
+func (r *FlightRecorder) qualifiesSlowLocked(name string, durNS int64) bool {
+	set := r.slow[name]
+	if len(set) < r.slowK {
+		return true
+	}
+	return durNS > set[0].td.DurationNS
+}
+
+// pinSlowLocked inserts e into its endpoint's slowest-K set (ascending
+// by duration), unpinning whatever it displaces.
+func (r *FlightRecorder) pinSlowLocked(e *recEntry) {
+	name := e.td.Name
+	set := r.slow[name]
+	if len(set) >= r.slowK {
+		set[0].pinnedSlow = false
+		set = set[1:]
+	}
+	i := sort.Search(len(set), func(i int) bool { return set[i].td.DurationNS > e.td.DurationNS })
+	set = append(set, nil)
+	copy(set[i+1:], set[i:])
+	set[i] = e
+	e.pinnedSlow = true
+	r.slow[name] = set
+}
+
+// insertLocked places e in the ring, evicting clock-style if full.
+func (r *FlightRecorder) insertLocked(e *recEntry) {
+	// Empty slot first: the ring fills before anything is evicted. The
+	// scan only runs while slots remain — once the ring is full every
+	// insert goes straight to the eviction scan instead of walking the
+	// whole ring looking for a hole that cannot exist.
+	if r.filled < r.capacity {
+		for i := 0; i < r.capacity; i++ {
+			slot := (r.hand + i) % r.capacity
+			if r.entries[slot] == nil {
+				r.placeLocked(e, slot)
+				r.hand = (slot + 1) % r.capacity
+				return
+			}
+		}
+	}
+	// Full: advance the hand past pinned entries; if everything is
+	// pinned, the hand's own (oldest-scanned) entry goes.
+	victim := r.hand
+	for i := 0; i < r.capacity; i++ {
+		slot := (r.hand + i) % r.capacity
+		v := r.entries[slot]
+		if !v.pinnedErr && !v.pinnedSlow {
+			victim = slot
+			break
+		}
+	}
+	r.evictLocked(victim)
+	r.placeLocked(e, victim)
+	r.hand = (victim + 1) % r.capacity
+}
+
+func (r *FlightRecorder) placeLocked(e *recEntry, slot int) {
+	e.slot = slot
+	r.entries[slot] = e // always a hole: empty-scan hit or freshly evicted
+	r.filled++
+	r.byID[e.td.TraceID] = e
+}
+
+func (r *FlightRecorder) evictLocked(slot int) {
+	v := r.entries[slot]
+	if v == nil {
+		return
+	}
+	delete(r.byID, v.td.TraceID)
+	if v.pinnedSlow {
+		set := r.slow[v.td.Name]
+		for i, se := range set {
+			if se == v {
+				r.slow[v.td.Name] = append(set[:i:i], set[i+1:]...)
+				break
+			}
+		}
+	}
+	r.entries[slot] = nil
+	r.filled--
+	r.evicted++
+}
+
+// randLocked is splitmix64 scaled to [0, 1) — good enough for sampling,
+// free of any math/rand locking.
+func (r *FlightRecorder) randLocked() float64 {
+	r.rng += 0x9e3779b97f4a7c15
+	z := r.rng
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return float64(z>>11) / (1 << 53)
+}
+
+// Get returns the retained trace with the given ID.
+func (r *FlightRecorder) Get(id string) (*TraceData, bool) {
+	if r == nil {
+		return nil, false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.byID[id]
+	if !ok {
+		return nil, false
+	}
+	return e.td, true
+}
+
+// TraceFilter selects traces for Summaries. Zero fields match
+// everything; Limit 0 means no cap.
+type TraceFilter struct {
+	Name        string        // root span name (endpoint label)
+	MinDuration time.Duration // keep traces at least this long
+	ErrorsOnly  bool
+	Limit       int
+}
+
+// TraceSummary is the one-line view of a retained trace.
+type TraceSummary struct {
+	TraceID    string    `json:"trace_id"`
+	Name       string    `json:"name"`
+	Start      time.Time `json:"start"`
+	DurationNS int64     `json:"duration_ns"`
+	Error      string    `json:"error,omitempty"`
+	Retained   string    `json:"retained"`
+	Spans      int       `json:"spans"`
+}
+
+// Summaries lists retained traces matching the filter, newest first.
+func (r *FlightRecorder) Summaries(f TraceFilter) []TraceSummary {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	matched := make([]*recEntry, 0, len(r.byID))
+	for _, e := range r.entries {
+		if e == nil {
+			continue
+		}
+		td := e.td
+		if f.Name != "" && td.Name != f.Name {
+			continue
+		}
+		if td.DurationNS < f.MinDuration.Nanoseconds() {
+			continue
+		}
+		if f.ErrorsOnly && td.Error == "" {
+			continue
+		}
+		matched = append(matched, e)
+	}
+	r.mu.Unlock()
+	sort.Slice(matched, func(i, j int) bool { return matched[i].seq > matched[j].seq })
+	if f.Limit > 0 && len(matched) > f.Limit {
+		matched = matched[:f.Limit]
+	}
+	out := make([]TraceSummary, len(matched))
+	for i, e := range matched {
+		td := e.td
+		out[i] = TraceSummary{
+			TraceID:    td.TraceID,
+			Name:       td.Name,
+			Start:      td.Start,
+			DurationNS: td.DurationNS,
+			Error:      td.Error,
+			Retained:   td.Retained,
+			Spans:      td.Spans,
+		}
+	}
+	return out
+}
+
+// RecorderStats are the recorder's lifetime counters.
+type RecorderStats struct {
+	Recorded uint64 `json:"recorded"`
+	Retained uint64 `json:"retained"`
+	Evicted  uint64 `json:"evicted"`
+	Live     int    `json:"live"`
+}
+
+// Stats snapshots the counters.
+func (r *FlightRecorder) Stats() RecorderStats {
+	if r == nil {
+		return RecorderStats{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return RecorderStats{Recorded: r.recorded, Retained: r.kept, Evicted: r.evicted, Live: len(r.byID)}
+}

@@ -1,0 +1,291 @@
+package obs
+
+import (
+	"context"
+	"encoding/binary"
+	"encoding/hex"
+	"sync"
+	"time"
+)
+
+// This file is the in-process tracing layer: a Trace owns a tree of
+// Spans recording what one request (or one background job) actually did
+// — pool acquire, singleflight, corpus warm-start, engine probe phases —
+// with wall-clock timing, small string attributes and error status.
+// Completed traces are snapshotted into immutable TraceData and handed
+// to a FlightRecorder (see recorder.go) for tail-sampled retention.
+//
+// Trace and span IDs are minted off the same atomic sequence as request
+// IDs (reqid.go): correlation handles, not secrets, so one atomic add
+// beats crypto/rand per span by orders of magnitude and keeps tracing
+// inside the serving layer's per-request instrumentation budget.
+
+// maxSpansPerTrace bounds one trace's tree so a pathological request
+// (a select over many candidates, a scan emitting thousands of phase
+// events) cannot grow a trace without limit. Spans past the cap are
+// counted, not stored.
+const maxSpansPerTrace = 512
+
+// NewTraceID mints a 16-hex-character trace ID, unique per process.
+func NewTraceID() string { return NewRequestID() }
+
+// NewSpanID mints an 8-hex-character span ID for callers that assemble
+// TraceData outside a live Trace — the dist layer stitches worker-sent
+// wire spans under coordinator-minted span IDs.
+func NewSpanID() string { return newSpanID() }
+
+// newSpanID mints an 8-hex-character span ID from the shared sequence.
+func newSpanID() string {
+	var b [4]byte
+	binary.BigEndian.PutUint32(b[:], uint32(ridSeq.Add(1)))
+	return hex.EncodeToString(b[:])
+}
+
+// Attr is one span attribute. A small ordered slice beats a map for the
+// handful of attributes a span carries.
+type Attr struct {
+	K string `json:"k"`
+	V string `json:"v"`
+}
+
+// Trace is one span tree under construction. All spans of a trace share
+// its mutex: span operations are short (append, field set) and a request
+// touches them a handful of times, so one lock is cheaper than per-span
+// state. The root span and a small attribute buffer live inside the
+// Trace allocation itself, so starting a trace costs one heap object
+// plus the ID string — the per-request budget the serve middleware
+// pays even for traces sampling will drop.
+type Trace struct {
+	mu      sync.Mutex
+	id      string
+	root    Span
+	attrBuf [4]Attr // backs the root's first attributes without a heap slice
+	spans   int
+	dropped int
+}
+
+// Span is one timed operation inside a trace. The zero/nil Span is inert:
+// every method on a nil *Span is a no-op (and StartChild returns nil), so
+// call sites need no "is tracing on" guards.
+type Span struct {
+	t        *Trace
+	id       string
+	name     string
+	start    time.Time
+	end      time.Time
+	err      string
+	attrs    []Attr
+	children []*Span
+}
+
+// NewTrace starts a trace whose root span has the given name (for
+// request traces, the bounded endpoint label) and initial attributes —
+// passing them here copies into the trace's inline buffer instead of a
+// locked SetAttr per attribute, which matters on the per-request path.
+// The root span's ID is the trace ID's low half (unique per process,
+// zero extra minting); its clock starts now. Call Root().End() before
+// snapshotting with Data.
+func NewTrace(name string, attrs ...Attr) *Trace {
+	t := &Trace{id: NewTraceID()}
+	t.root = Span{t: t, id: t.id[8:], name: name, start: time.Now()}
+	t.root.attrs = append(t.attrBuf[:0], attrs...)
+	t.spans = 1
+	return t
+}
+
+// ID returns the trace ID.
+func (t *Trace) ID() string {
+	if t == nil {
+		return ""
+	}
+	return t.id
+}
+
+// Root returns the root span.
+func (t *Trace) Root() *Span {
+	if t == nil {
+		return nil
+	}
+	return &t.root
+}
+
+// StartChild opens a child span; its clock starts now. Returns nil (still
+// safe to use) on a nil receiver or when the trace's span cap is reached.
+func (s *Span) StartChild(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	t := s.t
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.spans >= maxSpansPerTrace {
+		t.dropped++
+		return nil
+	}
+	c := &Span{t: t, id: newSpanID(), name: name, start: time.Now()}
+	s.children = append(s.children, c)
+	t.spans++
+	return c
+}
+
+// AddLeaf attaches an already-completed child span whose duration is
+// known after the fact — how engine phase events report — backdating its
+// start so the timeline stays coherent.
+func (s *Span) AddLeaf(name string, d time.Duration, attrs ...Attr) {
+	if s == nil {
+		return
+	}
+	t := s.t
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.spans >= maxSpansPerTrace {
+		t.dropped++
+		return
+	}
+	now := time.Now()
+	c := &Span{t: t, id: newSpanID(), name: name, start: now.Add(-d), end: now, attrs: attrs}
+	s.children = append(s.children, c)
+	t.spans++
+}
+
+// End stamps the span's end time (first call wins).
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.t.mu.Lock()
+	defer s.t.mu.Unlock()
+	if s.end.IsZero() {
+		s.end = time.Now()
+	}
+}
+
+// SetAttr appends one attribute.
+func (s *Span) SetAttr(k, v string) {
+	if s == nil {
+		return
+	}
+	s.t.mu.Lock()
+	defer s.t.mu.Unlock()
+	s.attrs = append(s.attrs, Attr{K: k, V: v})
+}
+
+// SetError marks the span failed. The first message wins, so a specific
+// error recorded on the request path is not overwritten by a generic
+// status mapped later.
+func (s *Span) SetError(msg string) {
+	if s == nil || msg == "" {
+		return
+	}
+	s.t.mu.Lock()
+	defer s.t.mu.Unlock()
+	if s.err == "" {
+		s.err = msg
+	}
+}
+
+// spanKey is the context key the current span travels under.
+type spanKey struct{}
+
+// ContextWithSpan returns a context carrying the span. A nil span
+// returns ctx unchanged.
+func ContextWithSpan(ctx context.Context, s *Span) context.Context {
+	if s == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, spanKey{}, s)
+}
+
+// SpanFromContext returns the context's current span, or nil (inert).
+func SpanFromContext(ctx context.Context) *Span {
+	if ctx == nil {
+		return nil
+	}
+	s, _ := ctx.Value(spanKey{}).(*Span)
+	return s
+}
+
+// SpanData is the immutable snapshot of one span, shaped for JSON.
+type SpanData struct {
+	ID         string      `json:"id"`
+	Name       string      `json:"name"`
+	Start      time.Time   `json:"start"`
+	DurationNS int64       `json:"duration_ns"`
+	Error      string      `json:"error,omitempty"`
+	Attrs      []Attr      `json:"attrs,omitempty"`
+	Children   []*SpanData `json:"children,omitempty"`
+}
+
+// TraceData is the immutable snapshot of one completed trace — what the
+// flight recorder retains and /v1/traces/{id} serves. Name is the root
+// span's name (the endpoint label for request traces); Retained is
+// filled by the recorder with why the trace was kept.
+type TraceData struct {
+	TraceID      string    `json:"trace_id"`
+	Name         string    `json:"name"`
+	Start        time.Time `json:"start"`
+	DurationNS   int64     `json:"duration_ns"`
+	Error        string    `json:"error,omitempty"`
+	Retained     string    `json:"retained,omitempty"`
+	Spans        int       `json:"spans"`
+	DroppedSpans int       `json:"dropped_spans,omitempty"`
+	Root         *SpanData `json:"root"`
+}
+
+// rootState returns the root span's name, elapsed nanoseconds and error
+// under the trace lock — the cheap inputs the recorder's tail-sampling
+// decision needs, so the dropped majority of traces never pays for a
+// full Data snapshot.
+func (t *Trace) rootState() (name string, durNS int64, errMsg string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	end := t.root.end
+	if end.IsZero() {
+		end = time.Now()
+	}
+	return t.root.name, end.Sub(t.root.start).Nanoseconds(), t.root.err
+}
+
+// Data snapshots the trace. Unended spans (the trace's own clock keeps
+// running for them) are closed at the snapshot instant so durations are
+// always coherent. Call after Root().End().
+func (t *Trace) Data() *TraceData {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	now := time.Now()
+	root := snapshotSpan(&t.root, now)
+	return &TraceData{
+		TraceID:      t.id,
+		Name:         t.root.name,
+		Start:        root.Start,
+		DurationNS:   root.DurationNS,
+		Error:        t.root.err,
+		Spans:        t.spans,
+		DroppedSpans: t.dropped,
+		Root:         root,
+	}
+}
+
+func snapshotSpan(s *Span, now time.Time) *SpanData {
+	end := s.end
+	if end.IsZero() {
+		end = now
+	}
+	d := &SpanData{
+		ID:         s.id,
+		Name:       s.name,
+		Start:      s.start,
+		DurationNS: end.Sub(s.start).Nanoseconds(),
+		Error:      s.err,
+	}
+	if len(s.attrs) > 0 {
+		d.Attrs = append([]Attr(nil), s.attrs...)
+	}
+	for _, c := range s.children {
+		d.Children = append(d.Children, snapshotSpan(c, now))
+	}
+	return d
+}

@@ -1,0 +1,351 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpanTreeSnapshot(t *testing.T) {
+	tr := NewTrace("/v1/evaluate")
+	root := tr.Root()
+	if tr.ID() == "" || root == nil {
+		t.Fatal("trace without id or root")
+	}
+	root.SetAttr("request_id", "abc")
+	child := root.StartChild("pool.acquire")
+	child.SetAttr("hit", "false")
+	child.End()
+	flight := root.StartChild("flight")
+	flight.AddLeaf("engine.boundary", 3*time.Millisecond, Attr{K: "probes", V: "17"})
+	flight.SetError("budget exceeded")
+	flight.End()
+	root.SetError("budget exceeded")
+	root.End()
+
+	td := tr.Data()
+	if td.TraceID != tr.ID() || td.Name != "/v1/evaluate" {
+		t.Fatalf("snapshot identity: %+v", td)
+	}
+	if td.Error != "budget exceeded" {
+		t.Fatalf("trace error = %q", td.Error)
+	}
+	if td.Spans != 4 {
+		t.Fatalf("spans = %d, want 4", td.Spans)
+	}
+	if len(td.Root.Children) != 2 {
+		t.Fatalf("root children = %d, want 2", len(td.Root.Children))
+	}
+	fl := td.Root.Children[1]
+	if fl.Name != "flight" || fl.Error != "budget exceeded" {
+		t.Fatalf("flight span: %+v", fl)
+	}
+	if len(fl.Children) != 1 || fl.Children[0].Name != "engine.boundary" {
+		t.Fatalf("engine leaf missing: %+v", fl.Children)
+	}
+	leaf := fl.Children[0]
+	if leaf.DurationNS != (3 * time.Millisecond).Nanoseconds() {
+		t.Fatalf("leaf duration = %d", leaf.DurationNS)
+	}
+	if len(leaf.Attrs) != 1 || leaf.Attrs[0].K != "probes" {
+		t.Fatalf("leaf attrs: %+v", leaf.Attrs)
+	}
+	if td.Root.DurationNS <= 0 {
+		t.Fatalf("root duration = %d", td.Root.DurationNS)
+	}
+}
+
+// TestNilSpanInert proves tracing-off call sites need no guards: every
+// operation on a nil span (and children derived from it) is a no-op.
+func TestNilSpanInert(t *testing.T) {
+	var s *Span
+	c := s.StartChild("x")
+	if c != nil {
+		t.Fatal("nil span produced a child")
+	}
+	c.SetAttr("k", "v")
+	c.SetError("boom")
+	c.AddLeaf("leaf", time.Millisecond)
+	c.End()
+	ctx := ContextWithSpan(context.Background(), nil)
+	if SpanFromContext(ctx) != nil {
+		t.Fatal("nil span stored in context")
+	}
+}
+
+func TestSpanFromContextRoundTrip(t *testing.T) {
+	tr := NewTrace("bg")
+	ctx := ContextWithSpan(context.Background(), tr.Root())
+	if SpanFromContext(ctx) != tr.Root() {
+		t.Fatal("span did not round-trip through context")
+	}
+	if SpanFromContext(context.Background()) != nil {
+		t.Fatal("empty context yielded a span")
+	}
+}
+
+func TestSpanCapBounded(t *testing.T) {
+	tr := NewTrace("big")
+	root := tr.Root()
+	for i := 0; i < 2*maxSpansPerTrace; i++ {
+		root.AddLeaf("leaf", time.Microsecond)
+	}
+	td := tr.Data()
+	if td.Spans != maxSpansPerTrace {
+		t.Fatalf("spans = %d, want cap %d", td.Spans, maxSpansPerTrace)
+	}
+	if td.DroppedSpans != maxSpansPerTrace+1 {
+		t.Fatalf("dropped = %d, want %d", td.DroppedSpans, maxSpansPerTrace+1)
+	}
+}
+
+// makeTD builds a completed-trace snapshot directly; the recorder only
+// ever sees TraceData, so tests can control durations deterministically.
+func makeTD(name string, d time.Duration, errMsg string) *TraceData {
+	id := NewTraceID()
+	return &TraceData{
+		TraceID:    id,
+		Name:       name,
+		Start:      time.Now(),
+		DurationNS: d.Nanoseconds(),
+		Error:      errMsg,
+		Spans:      1,
+		Root:       &SpanData{ID: "00000001", Name: name, DurationNS: d.Nanoseconds()},
+	}
+}
+
+// TestRecorderErroredPinning floods a full recorder with slow healthy
+// traces and proves the errored trace survives: error pins beat ring
+// eviction as long as anything unpinned exists.
+func TestRecorderErroredPinning(t *testing.T) {
+	r := NewFlightRecorder(16, 1) // sample everything: maximum eviction pressure
+	errTD := makeTD("/v1/evaluate", 5*time.Millisecond, "deadline exceeded")
+	if kept, reason := r.Record(errTD); !kept || reason != "error" {
+		t.Fatalf("errored trace kept=%v reason=%q", kept, reason)
+	}
+	for i := 0; i < 200; i++ {
+		r.Record(makeTD("/v1/evaluate", time.Duration(i+1)*time.Millisecond, ""))
+	}
+	got, ok := r.Get(errTD.TraceID)
+	if !ok {
+		t.Fatal("errored trace evicted despite unpinned entries in the ring")
+	}
+	if got.Retained != "error" {
+		t.Fatalf("retained = %q, want error", got.Retained)
+	}
+	sums := r.Summaries(TraceFilter{ErrorsOnly: true})
+	if len(sums) != 1 || sums[0].TraceID != errTD.TraceID {
+		t.Fatalf("ErrorsOnly summaries: %+v", sums)
+	}
+}
+
+// TestRecorderSlowestKInvariant records traces of known durations and
+// proves the K slowest per endpoint are always retrievable afterwards,
+// whatever order they arrived in.
+func TestRecorderSlowestKInvariant(t *testing.T) {
+	r := NewFlightRecorder(32, 0) // no probabilistic keep: slow-K only
+	const n = 100
+	// Interleave ascending and descending so the slow set churns.
+	durs := make([]time.Duration, 0, n)
+	for i := 0; i < n/2; i++ {
+		durs = append(durs, time.Duration(i+1)*time.Millisecond)
+		durs = append(durs, time.Duration(n-i)*time.Millisecond)
+	}
+	ids := map[time.Duration]string{}
+	for _, d := range durs {
+		td := makeTD("/v1/hd", d, "")
+		r.Record(td)
+		ids[d] = td.TraceID
+	}
+	for i := 0; i < slowKDefault; i++ {
+		d := time.Duration(n-i) * time.Millisecond
+		if _, ok := r.Get(ids[d]); !ok {
+			t.Errorf("slowest-%d trace (%v) not retained", i+1, d)
+		}
+	}
+	// A second endpoint keeps its own slow set.
+	other := makeTD("/v1/maxlen", time.Microsecond, "")
+	if kept, reason := r.Record(other); !kept || reason != "slow" {
+		t.Fatalf("first trace of a fresh endpoint kept=%v reason=%q", kept, reason)
+	}
+	if got := r.Summaries(TraceFilter{Name: "/v1/maxlen"}); len(got) != 1 {
+		t.Fatalf("per-endpoint filter returned %d", len(got))
+	}
+	// MinDuration filtering.
+	slow := r.Summaries(TraceFilter{Name: "/v1/hd", MinDuration: time.Duration(n-2) * time.Millisecond})
+	if len(slow) != 3 {
+		t.Fatalf("MinDuration filter returned %d, want 3", len(slow))
+	}
+}
+
+func TestRecorderSampling(t *testing.T) {
+	r := NewFlightRecorder(1024, 1)
+	for i := 0; i < 100; i++ {
+		if kept, _ := r.Record(makeTD("/x", time.Millisecond, "")); !kept {
+			t.Fatal("sampleRate 1 dropped a trace")
+		}
+	}
+	r0 := NewFlightRecorder(1024, 0)
+	var kept int
+	for i := 0; i < 100; i++ {
+		// Identical durations: after the slow set fills, nothing further
+		// qualifies (strictly-greater comparison) and rate 0 drops the rest.
+		if ok, _ := r0.Record(makeTD("/x", time.Millisecond, "")); ok {
+			kept++
+		}
+	}
+	if kept != slowKDefault {
+		t.Fatalf("sampleRate 0 kept %d, want only the slow-K %d", kept, slowKDefault)
+	}
+	st := r0.Stats()
+	if st.Recorded != 100 || st.Retained != uint64(slowKDefault) || st.Live != slowKDefault {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+// TestRecorderConcurrent races recorders against scrapers and evictions;
+// the -race CI job runs it with the detector on.
+func TestRecorderConcurrent(t *testing.T) {
+	r := NewFlightRecorder(64, 0.5)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				errMsg := ""
+				if i%7 == 0 {
+					errMsg = "boom"
+				}
+				ep := []string{"/a", "/b", "/c"}[i%3]
+				r.Record(makeTD(ep, time.Duration(i%50)*time.Millisecond, errMsg))
+			}
+		}(w)
+	}
+	deadline := time.Now().Add(200 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		sums := r.Summaries(TraceFilter{Limit: 10})
+		for _, s := range sums {
+			if td, ok := r.Get(s.TraceID); ok && td.TraceID != s.TraceID {
+				t.Error("Get returned a different trace")
+			}
+		}
+		r.Stats()
+	}
+	close(stop)
+	wg.Wait()
+	if st := r.Stats(); st.Live > 64 {
+		t.Fatalf("live %d exceeds capacity", st.Live)
+	}
+}
+
+func TestNilRecorderInert(t *testing.T) {
+	var r *FlightRecorder
+	if kept, _ := r.Record(makeTD("/x", time.Millisecond, "")); kept {
+		t.Fatal("nil recorder kept a trace")
+	}
+	if _, ok := r.Get("x"); ok {
+		t.Fatal("nil recorder returned a trace")
+	}
+	if r.Summaries(TraceFilter{}) != nil {
+		t.Fatal("nil recorder returned summaries")
+	}
+}
+
+// TestExemplarExposition proves ObserveExemplar renders an OpenMetrics
+// trailer the validator accepts and that the trailer lands on the bucket
+// the value belongs to.
+func TestExemplarExposition(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogramVec("req_seconds", "latency", []float64{0.01, 0.1, 1}, "endpoint")
+	h.With("/v1/evaluate").ObserveExemplar(0.05, "deadbeef01234567")
+	h.With("/v1/evaluate").Observe(0.002) // no exemplar on this bucket
+	h.With("/v1/evaluate").ObserveExemplar(5, "feedface89abcdef")
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if err := CheckExposition(strings.NewReader(out)); err != nil {
+		t.Fatalf("exemplar exposition rejected: %v\n%s", err, out)
+	}
+	wantMid := `req_seconds_bucket{endpoint="/v1/evaluate",le="0.1"} 2 # {trace_id="deadbeef01234567"} 0.05`
+	wantInf := `req_seconds_bucket{endpoint="/v1/evaluate",le="+Inf"} 3 # {trace_id="feedface89abcdef"} 5`
+	for _, want := range []string{wantMid, wantInf} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, `le="0.01"} 1 #`) {
+		t.Errorf("exemplar leaked onto an unexemplared bucket:\n%s", out)
+	}
+}
+
+// TestExemplarRejections drives the validator with malformed or
+// misplaced exemplars a strict OpenMetrics parser would reject.
+func TestExemplarRejections(t *testing.T) {
+	histHeader := "# TYPE h histogram\n"
+	okTail := "h_bucket{le=\"+Inf\"} 1\nh_count 1\nh_sum 1\n"
+	bad := map[string]string{
+		"exemplar on gauge":        "# TYPE g gauge\ng 1 # {trace_id=\"ab\"} 1\n",
+		"exemplar on untyped":      "u 1 # {trace_id=\"ab\"} 1\n",
+		"exemplar on hist sum":     histHeader + "h_bucket{le=\"+Inf\"} 1\nh_count 1\nh_sum 1 # {trace_id=\"ab\"} 1\n",
+		"missing value":            histHeader + "h_bucket{le=\"+Inf\"} 1 # {trace_id=\"ab\"}\n" + "h_count 1\nh_sum 1\n",
+		"no label set":             histHeader + "h_bucket{le=\"+Inf\"} 1 # 0.5\n" + "h_count 1\nh_sum 1\n",
+		"unterminated labels":      histHeader + "h_bucket{le=\"+Inf\"} 1 # {trace_id=\"ab} 0.5\n" + "h_count 1\nh_sum 1\n",
+		"bad exemplar value":       histHeader + "h_bucket{le=\"+Inf\"} 1 # {trace_id=\"ab\"} wat\n" + "h_count 1\nh_sum 1\n",
+		"bad exemplar timestamp":   histHeader + "h_bucket{le=\"+Inf\"} 1 # {trace_id=\"ab\"} 0.5 notatime\n" + "h_count 1\nh_sum 1\n",
+		"trailing garbage":         histHeader + "h_bucket{le=\"+Inf\"} 1 # {trace_id=\"ab\"} 0.5 1.0 extra\n" + "h_count 1\nh_sum 1\n",
+		"oversized exemplar label": histHeader + "h_bucket{le=\"+Inf\"} 1 # {trace_id=\"" + strings.Repeat("a", 129) + "\"} 0.5\n" + "h_count 1\nh_sum 1\n",
+	}
+	for name, doc := range bad {
+		if err := CheckExposition(strings.NewReader(doc)); err == nil {
+			t.Errorf("%s: accepted:\n%s", name, doc)
+		}
+	}
+	good := []string{
+		"# TYPE c_total counter\nc_total 5 # {trace_id=\"ab\"} 1\n",
+		histHeader + "h_bucket{le=\"1\"} 1 # {trace_id=\"ab\"} 0.5\n" + okTail,
+		histHeader + "h_bucket{le=\"1\"} 1 # {trace_id=\"ab\"} 0.5 1712345678.123\n" + okTail,
+	}
+	for _, doc := range good {
+		if err := CheckExposition(strings.NewReader(doc)); err != nil {
+			t.Errorf("valid exemplar rejected: %v\n%s", err, doc)
+		}
+	}
+}
+
+func BenchmarkRecorderRecord(b *testing.B) {
+	r := NewFlightRecorder(256, 0.1)
+	tds := make([]*TraceData, 256)
+	for i := range tds {
+		tds[i] = makeTD(fmt.Sprintf("/ep%d", i%4), time.Duration(i)*time.Microsecond, "")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		td := tds[i%len(tds)]
+		// Re-mint the ID so byID never collides with a live entry.
+		td.TraceID = NewTraceID()
+		r.Record(td)
+	}
+}
+
+func BenchmarkObserveExemplar(b *testing.B) {
+	h := newHistogram(LatencyBuckets())
+	id := NewTraceID()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			h.ObserveExemplar(0.00042, id)
+		}
+	})
+}

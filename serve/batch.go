@@ -9,6 +9,7 @@ import (
 	"sync"
 
 	"koopmancrc/crchash"
+	"koopmancrc/internal/obs"
 )
 
 // This file is the high-throughput ingestion tier: /v1/checksum/batch
@@ -97,6 +98,7 @@ func (s *Server) handleChecksumBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		if be.err != nil {
 			out.Error = be.err.Error()
+			out.RequestID = obs.RequestID(r.Context())
 			resp.Failed++
 			continue
 		}
@@ -108,6 +110,7 @@ func (s *Server) handleChecksumBatch(w http.ResponseWriter, r *http.Request) {
 			// The per-item ceiling matches the single-checksum endpoint:
 			// an item too big for /v1/checksum fails alone, not the batch.
 			out.Error = fmt.Sprintf("payload %d bytes exceeds the per-item cap of %d", len(data), s.cfg.MaxBodyBytes)
+			out.RequestID = obs.RequestID(r.Context())
 			resp.Failed++
 			continue
 		}

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -248,10 +249,13 @@ func TestChecksumStreamCancelMidBody(t *testing.T) {
 		t.Fatal(err)
 	}
 	cancel()
+	// Fail the body before waiting on Do: the transport's write loop may
+	// be blocked mid-pipe-read, and Do does not return until that loop
+	// exits — waiting first would deadlock the test against itself.
+	pw.CloseWithError(errors.New("test: client abandoned body"))
 	if err := <-errCh; err == nil {
 		t.Fatal("request succeeded despite cancellation")
 	}
-	pw.Close()
 
 	// The handler notices between chunks; poll until its error is
 	// accounted.

@@ -12,7 +12,9 @@ import (
 	"io"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
+	"time"
 
 	"koopmancrc/serve"
 )
@@ -272,6 +274,59 @@ func (c *Client) ChecksumReader(ctx context.Context, algorithm string, r io.Read
 	}
 	var out serve.ChecksumResponse
 	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// TracesOptions filters a Traces listing. Zero values mean "no filter"
+// (and the server's default limit of 100).
+type TracesOptions struct {
+	// Endpoint restricts results to traces rooted at one endpoint label,
+	// e.g. "/v1/evaluate".
+	Endpoint string
+	// MinDuration drops traces faster than this.
+	MinDuration time.Duration
+	// ErrorsOnly keeps only errored traces.
+	ErrorsOnly bool
+	// Limit caps the number of summaries returned (server default 100).
+	Limit int
+}
+
+// Traces lists the server's retained trace summaries, newest first.
+// Requires tracing enabled server-side (404 otherwise).
+func (c *Client) Traces(ctx context.Context, opts TracesOptions) (*serve.TracesResponse, error) {
+	q := url.Values{}
+	if opts.Endpoint != "" {
+		q.Set("endpoint", opts.Endpoint)
+	}
+	if opts.MinDuration > 0 {
+		q.Set("min_duration", opts.MinDuration.String())
+	}
+	if opts.ErrorsOnly {
+		q.Set("error", "true")
+	}
+	if opts.Limit > 0 {
+		q.Set("limit", strconv.Itoa(opts.Limit))
+	}
+	path := "/v1/traces"
+	if len(q) > 0 {
+		path += "?" + q.Encode()
+	}
+	var out serve.TracesResponse
+	if err := c.roundTrip(ctx, http.MethodGet, path, nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Trace fetches one retained trace's full span tree by ID (as returned
+// in X-Trace-ID response headers, exposition exemplars or Traces
+// summaries). A 404 means the trace was never retained or has been
+// evicted from the flight recorder.
+func (c *Client) Trace(ctx context.Context, id string) (*serve.TraceData, error) {
+	var out serve.TraceData
+	if err := c.roundTrip(ctx, http.MethodGet, "/v1/traces/"+url.PathEscape(id), nil, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil

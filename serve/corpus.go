@@ -3,10 +3,12 @@ package serve
 import (
 	"context"
 	"log/slog"
+	"strconv"
 	"time"
 
 	"koopmancrc"
 	"koopmancrc/internal/corpus"
+	"koopmancrc/internal/obs"
 )
 
 // persistQueueLen bounds the write-behind queue. A full queue never
@@ -40,8 +42,11 @@ func (s *Server) setupCorpus(dir string) error {
 // warmStart hydrates a freshly created session from the corpus. Called
 // under the pool lock, before the session serves anything, so the
 // restore never contends with an evaluation. A corpus error is a miss,
-// never a failure: the session simply starts cold.
-func (s *Server) warmStart(sess *session) {
+// never a failure: the session simply starts cold. The warm-start shows
+// up as a child span of the creating request's trace.
+func (s *Server) warmStart(ctx context.Context, sess *session) {
+	sp := obs.SpanFromContext(ctx).StartChild("corpus.warmstart")
+	sp.SetAttr("poly", hexStr(sess.poly.In(koopmancrc.Koopman)))
 	start := time.Now()
 	snap, ok := s.corpus.Get(sess.poly.Width(), sess.poly.Koopman())
 	if ok {
@@ -49,6 +54,7 @@ func (s *Server) warmStart(sess *session) {
 			s.logger.Warn("corpus restore failed; session starts cold",
 				slog.String("poly", hexStr(sess.poly.In(koopmancrc.Koopman))),
 				slog.String("error", err.Error()))
+			sp.SetError(err.Error())
 			ok = false
 		}
 	}
@@ -59,6 +65,8 @@ func (s *Server) warmStart(sess *session) {
 	} else {
 		s.metrics.corpusMisses.Add(1)
 	}
+	sp.SetAttr("hit", strconv.FormatBool(ok))
+	sp.End()
 	if s.obs != nil {
 		s.obs.corpusLoad.Observe(time.Since(start).Seconds())
 	}
@@ -109,25 +117,46 @@ func (s *Server) persistSession(sess *session) {
 	if sess.an.MemoStats() == sess.persisted {
 		return // nothing learned since the last write
 	}
+	// Background persists have no originating request, so they get their
+	// own trace; a failed write is then an errored trace the recorder
+	// pins, making corpus trouble visible at /v1/traces without logs.
+	tr := obs.NewTrace("corpus.persist")
+	root := tr.Root()
+	root.SetAttr("poly", hexStr(sess.poly.In(koopmancrc.Koopman)))
+	defer func() {
+		root.End()
+		if s.recorder != nil {
+			s.recorder.RecordTrace(tr)
+		}
+	}()
 	// Export under the session's own serialization; bounded so a stuck
 	// evaluation cannot wedge the persister forever.
 	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	sp := root.StartChild("memo.snapshot")
 	snap, err := sess.an.MemoSnapshot(ctx)
 	cancel()
 	if err != nil {
+		sp.SetError(err.Error())
+		sp.End()
 		s.metrics.corpusWriteErrs.Add(1)
 		s.logger.Warn("corpus export failed",
 			slog.String("poly", hexStr(sess.poly.In(koopmancrc.Koopman))),
 			slog.String("error", err.Error()))
 		return
 	}
+	sp.End()
+	sp = root.StartChild("corpus.put")
 	if err := s.corpus.Put(snap); err != nil {
+		sp.SetError(err.Error())
+		sp.End()
 		s.metrics.corpusWriteErrs.Add(1)
 		s.logger.Warn("corpus write failed",
 			slog.String("poly", hexStr(sess.poly.In(koopmancrc.Koopman))),
 			slog.String("error", err.Error()))
 		return
 	}
+	sp.End()
+	root.SetAttr("facts", strconv.Itoa(snap.Entries()))
 	sess.persisted = sess.an.MemoStats()
 	s.metrics.corpusWrites.Add(1)
 	s.logger.Debug("corpus write",

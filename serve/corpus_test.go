@@ -152,16 +152,16 @@ func TestPoolEvictsCheapestSession(t *testing.T) {
 	var evicted []*session
 	p.evicted = func(s *session) { evicted = append(evicted, s) }
 
-	a, _ := p.get(expensive, 6, koopmancrc.Limits{})
+	a, _ := p.get(context.Background(), expensive, 6, koopmancrc.Limits{})
 	if _, err := a.an.Evaluate(context.Background(), smallEval.MaxLen); err != nil {
 		t.Fatalf("Evaluate: %v", err)
 	}
 	if a.an.MemoStats().Probes == 0 {
 		t.Fatal("evaluation did no probes; test premise broken")
 	}
-	p.get(cheap, 6, koopmancrc.Limits{}) // more recent than a, but zero probes
+	p.get(context.Background(), cheap, 6, koopmancrc.Limits{}) // more recent than a, but zero probes
 
-	p.get(third, 6, koopmancrc.Limits{}) // capacity pressure
+	p.get(context.Background(), third, 6, koopmancrc.Limits{}) // capacity pressure
 
 	if len(evicted) != 1 || evicted[0].poly.Koopman() != cheap.Koopman() {
 		t.Fatalf("evicted %d sessions, want exactly the cheap one: %+v", len(evicted), evicted)
@@ -191,7 +191,7 @@ func TestRestoredSessionIsCheapToEvict(t *testing.T) {
 	third := koopmancrc.MustPolynomial(8, koopmancrc.Koopman, "0xcd")
 
 	p := newPool(2)
-	p.warm = func(sess *session) {
+	p.warm = func(_ context.Context, sess *session) {
 		if snap, ok := store.Get(sess.poly.Width(), sess.poly.Koopman()); ok {
 			if err := sess.an.RestoreMemos(context.Background(), snap); err != nil {
 				t.Errorf("RestoreMemos: %v", err)
@@ -201,12 +201,12 @@ func TestRestoredSessionIsCheapToEvict(t *testing.T) {
 	var evicted []*session
 	p.evicted = func(s *session) { evicted = append(evicted, s) }
 
-	a, _ := p.get(live, 6, koopmancrc.Limits{})
+	a, _ := p.get(context.Background(), live, 6, koopmancrc.Limits{})
 	if _, err := a.an.Evaluate(context.Background(), smallEval.MaxLen); err != nil {
 		t.Fatalf("Evaluate: %v", err)
 	}
-	p.get(restored, 6, koopmancrc.Limits{})
-	p.get(third, 6, koopmancrc.Limits{})
+	p.get(context.Background(), restored, 6, koopmancrc.Limits{})
+	p.get(context.Background(), third, 6, koopmancrc.Limits{})
 
 	if len(evicted) != 1 || evicted[0].poly.Koopman() != restored.Koopman() {
 		t.Fatalf("want the restored session evicted, got: %+v", evicted)

@@ -20,6 +20,10 @@
 //	                     body size; algorithm in ?algorithm= or the
 //	                     X-Checksum-Algorithm header
 //	GET  /v1/algorithms  catalogued algorithm names
+//	GET  /v1/traces      retained traces, newest first; filters:
+//	                     ?endpoint= (root span name), ?min_duration=
+//	                     (Go duration), ?error=true, ?limit=
+//	GET  /v1/traces/{id} one retained trace's full span tree
 //	GET  /healthz        liveness (always unauthenticated)
 //	GET  /metrics        request/pool counters, expvar-style JSON;
 //	                     ?format=prometheus (or Accept: text/plain) selects
@@ -40,6 +44,32 @@
 // crcserve_engine_phase_seconds / crcserve_engine_phase_probes
 // histograms. A coalesced flight is attributed to the request that
 // started it.
+//
+// # Tracing
+//
+// On top of the request ID, every request is recorded as a span tree:
+// the middleware opens a root span named by the bounded endpoint label
+// (its ID returned in the X-Trace-ID response header), and the layers
+// underneath attach children — pool.acquire (with hit/miss),
+// flight (the singleflight window), corpus.warmstart, and one
+// engine.<phase> leaf per evaluation phase with its duration and probe
+// count. Background corpus persists run under their own corpus.persist
+// trace, so a failed write-behind is visible at /v1/traces without
+// logs.
+//
+// Completed traces feed a bounded FlightRecorder (internal/obs) with
+// tail sampling: the keep/drop decision happens when the trace ends,
+// so errored traces and the slowest-K per endpoint are always retained
+// and pinned against eviction, while healthy fast traces are kept with
+// probability Config.TraceSampleRate. A request that exceeds its
+// evaluation budget therefore always leaves its full span tree behind.
+// Config.TraceBuffer sizes the ring (negative disables tracing; the
+// trace endpoints then 404). The Prometheus latency histograms attach
+// OpenMetrics exemplars — each bucket carries the most recent retained
+// trace ID observed in it — so a dashboard spike resolves to a span
+// tree in two steps. Config.AccessLog additionally emits one
+// structured log line per request, sampled by the same tail decision
+// so log volume tracks trace volume.
 //
 // The crcserve binary adds -pprof (net/http/pprof on a separate,
 // default-loopback listener, never this mux) and -remeasure (periodic

@@ -47,10 +47,12 @@ func (g *flightGroup) do(ctx, base context.Context, key string, onJoin func(), f
 		}
 	} else {
 		// The flight runs detached from any single caller, but it carries
-		// the request ID of the caller that started it, so engine spans
-		// remain attributable to the request that paid for the work.
-		// (Joiners keep their own IDs only in their own response paths.)
-		fctx, cancel := context.WithCancel(obs.WithRequestID(base, obs.RequestID(ctx)))
+		// the request ID and trace span of the caller that started it, so
+		// engine spans remain attributable to the request that paid for
+		// the work. (Joiners keep their own IDs only in their own
+		// response paths.)
+		fctx, cancel := context.WithCancel(obs.ContextWithSpan(
+			obs.WithRequestID(base, obs.RequestID(ctx)), obs.SpanFromContext(ctx)))
 		f = &flight{done: make(chan struct{}), waiters: 1, cancel: cancel}
 		g.m[key] = f
 		go func() {

@@ -5,6 +5,7 @@ import (
 	"log/slog"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 
 	"koopmancrc"
@@ -98,23 +99,30 @@ func newServerObs(s *Server) *serverObs {
 }
 
 // endpointLabel bounds the endpoint label cardinality to the mux's known
-// paths; anything else (404 probes, scanners) collapses to "other".
+// paths; anything else (404 probes, scanners) collapses to "other". It
+// also names request traces' root spans, so trace filtering by endpoint
+// shares the metrics' cardinality bound.
 func endpointLabel(path string) string {
 	switch path {
 	case "/v1/evaluate", "/v1/hd", "/v1/maxlen", "/v1/select",
 		"/v1/checksum", "/v1/checksum/batch", "/v1/checksum/stream",
-		"/v1/algorithms", "/healthz", "/metrics":
+		"/v1/algorithms", "/v1/traces", "/healthz", "/metrics":
 		return path
+	}
+	if strings.HasPrefix(path, "/v1/traces/") {
+		return "/v1/traces/{id}"
 	}
 	return "other"
 }
 
-// statusWriter captures the response status for the request metrics and
-// log line. Flush is forwarded so SSE streaming still works through the
-// wrapper (streamEvaluate type-asserts http.Flusher).
+// statusWriter captures the response status and body byte count for the
+// request metrics and the access log. Flush is forwarded so SSE
+// streaming still works through the wrapper (streamEvaluate type-asserts
+// http.Flusher).
 type statusWriter struct {
 	http.ResponseWriter
 	status int
+	bytes  int64
 }
 
 func (w *statusWriter) WriteHeader(code int) {
@@ -128,7 +136,9 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 	if w.status == 0 {
 		w.status = http.StatusOK
 	}
-	return w.ResponseWriter.Write(b)
+	n, err := w.ResponseWriter.Write(b)
+	w.bytes += int64(n)
+	return n, err
 }
 
 func (w *statusWriter) Flush() {
@@ -153,12 +163,50 @@ func requestID(r *http.Request) string {
 	return id
 }
 
-// observe records a completed request in the histograms, counters and
-// the structured log.
-func (s *Server) observe(r *http.Request, status int, rid string, elapsed time.Duration) {
+// observe records a completed request in the histograms, counters, the
+// flight recorder and the structured log. When the trace is retained the
+// latency observation carries an exemplar pointing at its trace ID, so a
+// slow histogram bucket on a dashboard links to a resolvable span tree.
+func (s *Server) observe(r *http.Request, status int, rid string, elapsed time.Duration, tr *obs.Trace, bytes int64) {
 	ep := endpointLabel(r.URL.Path)
-	s.obs.reqSeconds.With(ep).Observe(elapsed.Seconds())
+	kept := false
+	traceID := ""
+	if tr != nil {
+		traceID = tr.ID()
+		root := tr.Root()
+		if status >= 400 {
+			// writeError marks spans with the real message; this is the
+			// fallback for error paths that bypass it (auth, 404s).
+			root.SetError("HTTP " + statusLabel(status))
+		}
+		root.SetAttr("status", statusLabel(status))
+		root.End()
+		if s.recorder != nil {
+			kept, _ = s.recorder.RecordTrace(tr)
+		}
+	}
+	if kept {
+		s.obs.reqSeconds.With(ep).ObserveExemplar(elapsed.Seconds(), traceID)
+	} else {
+		s.obs.reqSeconds.With(ep).Observe(elapsed.Seconds())
+	}
 	s.obs.requests.With(ep, statusLabel(status)).Inc()
+	// The access log rides the tail-sampling decision: under load only
+	// retained (errored / slowest-K / sampled) requests produce a line,
+	// so log volume tracks the flight recorder's budget. With tracing
+	// disabled every request is logged.
+	if s.cfg.AccessLog && (s.recorder == nil || kept) {
+		s.logger.Info("access",
+			slog.String("method", r.Method),
+			slog.String("endpoint", ep),
+			slog.Int("status", status),
+			slog.Duration("elapsed", elapsed),
+			slog.Int64("bytes", bytes),
+			slog.String("request_id", rid),
+			slog.String("trace_id", traceID),
+			slog.Bool("sampled", kept),
+		)
+	}
 	// Building slog attrs boxes each one even when debug logging is off;
 	// the explicit Enabled gate keeps the disabled-path cost at a few
 	// nanoseconds so per-request instrumentation stays under its budget.
@@ -181,6 +229,14 @@ func (s *Server) observe(r *http.Request, status int, rid string, elapsed time.D
 func (s *Server) observeSpan(ctx context.Context, sp koopmancrc.Span) {
 	s.obs.phaseSeconds.With(sp.Phase).Observe(sp.Duration.Seconds())
 	s.obs.phaseProbes.With(sp.Phase).Observe(float64(sp.Probes))
+	// Engine phases complete before the hook fires, so they attach to the
+	// request trace as backdated leaf spans rather than open children.
+	obs.SpanFromContext(ctx).AddLeaf("engine."+sp.Phase, sp.Duration,
+		obs.Attr{K: "poly", V: hexStr(sp.Poly.In(koopmancrc.Koopman))},
+		obs.Attr{K: "weight", V: strconv.Itoa(sp.Weight)},
+		obs.Attr{K: "data_len", V: strconv.Itoa(sp.DataLen)},
+		obs.Attr{K: "probes", V: strconv.FormatInt(sp.Probes, 10)},
+	)
 	if !s.logger.Enabled(ctx, slog.LevelDebug) {
 		return
 	}

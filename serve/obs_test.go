@@ -164,9 +164,9 @@ func BenchmarkWarmEvaluate(b *testing.B) {
 
 // BenchmarkRequestInstrumentation isolates what the observability layer
 // adds to every request: the histogram/counter observation plus the
-// request-ID mint the middleware performs.
+// request-ID mint the middleware performs, without tracing.
 func BenchmarkRequestInstrumentation(b *testing.B) {
-	s, err := New(Config{})
+	s, err := New(Config{TraceBuffer: -1})
 	if err != nil {
 		b.Fatalf("New: %v", err)
 	}
@@ -176,6 +176,26 @@ func BenchmarkRequestInstrumentation(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		rid := obs.NewRequestID()
-		s.observe(r, http.StatusOK, rid, 50*time.Microsecond)
+		s.observe(r, http.StatusOK, rid, 50*time.Microsecond, nil, 0)
+	}
+}
+
+// BenchmarkRequestInstrumentationTraced measures the same per-request
+// path with tracing on: trace mint, root span lifecycle, recorder
+// admission and (when retained) the exemplar store. The delta against
+// BenchmarkRequestInstrumentation is the tracing tax BENCH_PR10 gates.
+func BenchmarkRequestInstrumentationTraced(b *testing.B) {
+	s, err := New(Config{TraceBuffer: 256, TraceSampleRate: 0.1})
+	if err != nil {
+		b.Fatalf("New: %v", err)
+	}
+	defer s.Close()
+	r := httptest.NewRequest("POST", "/v1/evaluate", nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rid := obs.NewRequestID()
+		tr := obs.NewTrace("/v1/evaluate")
+		s.observe(r, http.StatusOK, rid, 50*time.Microsecond, tr, 0)
 	}
 }

@@ -111,8 +111,9 @@ type pool struct {
 	// warm, when non-nil, hydrates a freshly created session from the
 	// persistent corpus before its first request runs. It is called under
 	// the pool lock (restores into a fresh analyzer never contend), so a
-	// burst of first requests for one polynomial warm-starts exactly once.
-	warm func(*session)
+	// burst of first requests for one polynomial warm-starts exactly
+	// once. The context carries the creating request's trace span.
+	warm func(context.Context, *session)
 	// evicted, when non-nil, receives each session the pool stops handing
 	// out, so the server can persist knowledge the write-behind queue has
 	// not flushed yet.
@@ -140,7 +141,7 @@ func newPool(capacity int) *pool {
 // evicting the least recently used) as needed. hit reports whether the
 // session already existed — a warm session answers repeat queries from
 // its memo with zero engine probes.
-func (p *pool) get(poly koopmancrc.Polynomial, maxHD int, limits koopmancrc.Limits) (sess *session, hit bool) {
+func (p *pool) get(ctx context.Context, poly koopmancrc.Polynomial, maxHD int, limits koopmancrc.Limits) (sess *session, hit bool) {
 	key := sessionKey{width: poly.Width(), koopman: poly.Koopman(), maxHD: maxHD, limits: limits}
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -164,7 +165,7 @@ func (p *pool) get(poly koopmancrc.Polynomial, maxHD int, limits koopmancrc.Limi
 	p.seq++
 	sess.id = p.seq
 	if p.warm != nil {
-		p.warm(sess)
+		p.warm(ctx, sess)
 	}
 	p.byKey[key] = p.order.PushFront(&poolEntry{key: key, sess: sess})
 	return sess, false

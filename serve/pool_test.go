@@ -14,17 +14,17 @@ func TestPoolKeysAndLRU(t *testing.T) {
 	atm := koopmancrc.MustPolynomial(8, koopmancrc.Koopman, "0x83")
 	darc := koopmancrc.MustPolynomial(8, koopmancrc.Koopman, "0x9c")
 
-	s1, hit := p.get(atm, 6, koopmancrc.Limits{})
+	s1, hit := p.get(context.Background(), atm, 6, koopmancrc.Limits{})
 	if hit {
 		t.Fatal("first get reported a hit")
 	}
-	if s2, hit := p.get(atm, 6, koopmancrc.Limits{}); !hit || s2 != s1 {
+	if s2, hit := p.get(context.Background(), atm, 6, koopmancrc.Limits{}); !hit || s2 != s1 {
 		t.Fatal("same key did not return the same session")
 	}
-	if s3, hit := p.get(atm, 8, koopmancrc.Limits{}); hit || s3 == s1 {
+	if s3, hit := p.get(context.Background(), atm, 8, koopmancrc.Limits{}); hit || s3 == s1 {
 		t.Fatal("different max_hd shared a session")
 	}
-	if _, hit := p.get(atm, 6, koopmancrc.Limits{MaxProbes: 10}); hit {
+	if _, hit := p.get(context.Background(), atm, 6, koopmancrc.Limits{MaxProbes: 10}); hit {
 		t.Fatal("different limits shared a session")
 	}
 	// Capacity 2: the MaxProbes get above evicted one entry; atm/6 was
@@ -33,7 +33,7 @@ func TestPoolKeysAndLRU(t *testing.T) {
 	if st.Sessions != 2 || st.Evictions != 1 {
 		t.Fatalf("pool state: %+v", st)
 	}
-	if _, hit := p.get(darc, 6, koopmancrc.Limits{}); hit {
+	if _, hit := p.get(context.Background(), darc, 6, koopmancrc.Limits{}); hit {
 		t.Fatal("new polynomial hit")
 	}
 	if p.stats().Evictions != 2 {

@@ -62,6 +62,22 @@ type Config struct {
 	// write-behind, never blocking the request path. See internal/corpus
 	// for the on-disk format and crash-safety guarantees.
 	CorpusDir string
+	// TraceBuffer caps the completed request traces the in-process
+	// flight recorder retains for /v1/traces (default 256; negative
+	// disables tracing entirely — no spans, no recorder, no exemplars).
+	TraceBuffer int
+	// TraceSampleRate is the probability a healthy, fast request's trace
+	// is retained. Errored traces and the slowest-K per endpoint are
+	// always retained regardless (tail sampling: the decision is made at
+	// completion, when the outcome is known). 0 means the default 0.1;
+	// negative means "errors and slowest-K only".
+	TraceSampleRate float64
+	// AccessLog emits one structured info-level log line per completed
+	// request (method, endpoint, status, duration, bytes, request and
+	// trace IDs). With tracing enabled the log is sampled by the same
+	// tail-sampling decision as the flight recorder, so under load it
+	// keeps exactly the requests whose traces are retrievable.
+	AccessLog bool
 	// Limits are ceilings for per-request engine budgets: a request may
 	// lower a budget below the ceiling but never raise it. Zero fields
 	// leave the engine defaults as the only bound.
@@ -101,6 +117,14 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxStreamBytes <= 0 {
 		c.MaxStreamBytes = 1 << 30
+	}
+	if c.TraceBuffer == 0 {
+		c.TraceBuffer = 256
+	}
+	if c.TraceSampleRate == 0 {
+		c.TraceSampleRate = 0.1
+	} else if c.TraceSampleRate < 0 {
+		c.TraceSampleRate = 0
 	}
 	return c
 }
@@ -144,6 +168,10 @@ type Server struct {
 	logger  *slog.Logger
 	mux     *http.ServeMux
 
+	// recorder is the tail-sampled flight recorder behind /v1/traces
+	// (nil when Config.TraceBuffer is negative — tracing disabled).
+	recorder *obs.FlightRecorder
+
 	// corpus is the persistent analysis store (nil without CorpusDir);
 	// persistCh feeds the write-behind persister goroutine, which signals
 	// persistDone when it has drained on shutdown.
@@ -176,6 +204,9 @@ func New(cfg Config) (*Server, error) {
 	}
 	s.pool = newPool(s.cfg.PoolSize)
 	s.pool.spans = s.observeSpan
+	if s.cfg.TraceBuffer > 0 {
+		s.recorder = obs.NewFlightRecorder(s.cfg.TraceBuffer, s.cfg.TraceSampleRate)
+	}
 	if s.cfg.CorpusDir != "" {
 		if err := s.setupCorpus(s.cfg.CorpusDir); err != nil {
 			cancel()
@@ -191,6 +222,8 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("POST /v1/checksum/batch", s.handleChecksumBatch)
 	s.mux.HandleFunc("POST /v1/checksum/stream", s.handleChecksumStream)
 	s.mux.HandleFunc("GET /v1/algorithms", s.handleAlgorithms)
+	s.mux.HandleFunc("GET /v1/traces", s.handleTraces)
+	s.mux.HandleFunc("GET /v1/traces/{id}", s.handleTrace)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s, nil
@@ -223,10 +256,23 @@ func tokenEqual(got, want string) bool {
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	// Request-ID middleware: echo (or mint) the ID on every response,
 	// carry it via context through pool → flight → engine span hooks, and
-	// record the completed request in the latency/outcome metrics.
+	// record the completed request in the latency/outcome metrics. With
+	// tracing enabled the middleware also opens the request's root span;
+	// handlers hang child spans (pool acquire, flight, engine phases) off
+	// it through the same context.
 	rid := requestID(r)
 	w.Header().Set("X-Request-ID", rid)
-	r = r.WithContext(obs.WithRequestID(r.Context(), rid))
+	ctx := obs.WithRequestID(r.Context(), rid)
+	var tr *obs.Trace
+	if s.recorder != nil {
+		tr = obs.NewTrace(endpointLabel(r.URL.Path),
+			obs.Attr{K: "request_id", V: rid},
+			obs.Attr{K: "method", V: r.Method},
+			obs.Attr{K: "path", V: r.URL.Path})
+		w.Header().Set("X-Trace-ID", tr.ID())
+		ctx = obs.ContextWithSpan(ctx, tr.Root())
+	}
+	r = r.WithContext(ctx)
 	sw := &statusWriter{ResponseWriter: w}
 	start := time.Now()
 	defer func() {
@@ -234,7 +280,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		if status == 0 {
 			status = http.StatusOK
 		}
-		s.observe(r, status, rid, time.Since(start))
+		s.observe(r, status, rid, time.Since(start), tr, sw.bytes)
 	}()
 
 	if s.cfg.Token != "" && r.URL.Path != "/healthz" {
@@ -258,6 +304,9 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 func (s *Server) writeError(w http.ResponseWriter, r *http.Request, endpoint string, status int, err error) {
 	s.metrics.errors.Add(endpoint, 1)
+	// The span keeps the specific failure; tail sampling then pins this
+	// request's trace in the flight recorder (errors are always retained).
+	obs.SpanFromContext(r.Context()).SetError(err.Error())
 	writeJSON(w, status, ErrorResponse{Error: err.Error(), RequestID: obs.RequestID(r.Context())})
 }
 
@@ -359,10 +408,18 @@ func (s *Server) requestCtx(r *http.Request) (context.Context, context.CancelFun
 }
 
 // evaluation runs fn through the singleflight group, counting flights,
-// coalesced joins and engine-level cancellations.
+// coalesced joins and engine-level cancellations. It opens the request's
+// "flight" child span: when this caller starts the flight, engine phase
+// spans nest under it (the flight context inherits the span); a caller
+// that joins an in-flight run gets the coalesced attribute instead.
 func (s *Server) evaluation(ctx context.Context, key string, fn func(context.Context) (any, error)) (any, error) {
-	onJoin := func() { s.metrics.coalesced.Add(1) }
-	return s.flights.do(ctx, s.base, key, onJoin, func(fctx context.Context) (any, error) {
+	fsp := obs.SpanFromContext(ctx).StartChild("flight")
+	ctx = obs.ContextWithSpan(ctx, fsp)
+	onJoin := func() {
+		s.metrics.coalesced.Add(1)
+		fsp.SetAttr("coalesced", "true")
+	}
+	v, err := s.flights.do(ctx, s.base, key, onJoin, func(fctx context.Context) (any, error) {
 		s.metrics.flights.Add(1)
 		v, err := fn(fctx)
 		if err != nil && errors.Is(err, context.Canceled) {
@@ -370,6 +427,11 @@ func (s *Server) evaluation(ctx context.Context, key string, fn func(context.Con
 		}
 		return v, err
 	})
+	if err != nil {
+		fsp.SetError(err.Error())
+	}
+	fsp.End()
+	return v, err
 }
 
 func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
@@ -413,7 +475,7 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 		weights[i] = cl
 	}
 	limits := s.clampLimits(req.Limits)
-	sess, _ := s.pool.get(p, maxHD, limits)
+	sess, _ := s.poolGet(r.Context(), p, maxHD, limits)
 	// Persist whatever the evaluation taught the session — even a failed
 	// or cancelled one leaves monotone partial knowledge worth keeping.
 	defer s.notePersist(sess)
@@ -523,6 +585,9 @@ func (s *Server) streamEvaluate(w http.ResponseWriter, ctx context.Context, sess
 		}
 		if res.err != nil {
 			s.metrics.errors.Add(ep, 1)
+			// SSE errors ride inside a 200 stream; mark the root span so the
+			// trace is still retained as errored.
+			obs.SpanFromContext(ctx).SetError(res.err.Error())
 			writeSSE(w, "error", ErrorResponse{Error: res.err.Error(), RequestID: obs.RequestID(ctx)})
 		} else {
 			writeSSE(w, "result", res.v)
@@ -574,7 +639,7 @@ func (s *Server) handleHD(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	limits := s.clampLimits(req.Limits)
-	sess, _ := s.pool.get(p, maxHD, limits)
+	sess, _ := s.poolGet(r.Context(), p, maxHD, limits)
 	defer s.notePersist(sess)
 	key := fmt.Sprintf("hd|s%d|%d|%#x|hd=%d|len=%d|lim=%+v", sess.id, p.Width(), p.Koopman(), maxHD, dataLen, limits)
 
@@ -627,7 +692,7 @@ func (s *Server) handleMaxLen(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	limits := s.clampLimits(req.Limits)
-	sess, _ := s.pool.get(p, maxHD, limits)
+	sess, _ := s.poolGet(r.Context(), p, maxHD, limits)
 	defer s.notePersist(sess)
 	key := fmt.Sprintf("maxlen|s%d|%d|%#x|hd=%d|hor=%d|shd=%d|lim=%+v", sess.id, p.Width(), p.Koopman(), req.HD, horizon, maxHD, limits)
 
@@ -685,7 +750,7 @@ func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 			s.writeError(w, r, ep, http.StatusBadRequest, fmt.Errorf("candidate %d: %w", i, err))
 			return
 		}
-		sess, _ := s.pool.get(p, maxHD, limits)
+		sess, _ := s.poolGet(r.Context(), p, maxHD, limits)
 		analyzers[i] = sess.an
 		defer s.notePersist(sess)
 		keys[i] = fmt.Sprintf("s%d:%d:%#x", sess.id, p.Width(), p.Koopman())

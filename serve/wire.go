@@ -258,8 +258,10 @@ type ChecksumBatchRequest struct {
 
 // ChecksumBatchItem is one per-item outcome. On success Error is empty
 // and the remaining fields mirror ChecksumResponse; on failure (unknown
-// algorithm, overlong payload) Error explains and the checksum fields
-// are zero. A failed item never fails its batch.
+// algorithm, overlong payload) Error explains, the checksum fields are
+// zero, and RequestID carries the batch request's ID so the failure can
+// be located in the server's logs like a top-level ErrorResponse can. A
+// failed item never fails its batch.
 type ChecksumBatchItem struct {
 	Algorithm string `json:"algorithm,omitempty"`
 	Length    int    `json:"length"`
@@ -267,6 +269,7 @@ type ChecksumBatchItem struct {
 	Hex       string `json:"hex,omitempty"`
 	Kernel    string `json:"kernel,omitempty"`
 	Error     string `json:"error,omitempty"`
+	RequestID string `json:"request_id,omitempty"`
 }
 
 // ChecksumBatchResponse answers a batch: one item per request item, in
