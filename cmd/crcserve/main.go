@@ -49,8 +49,10 @@
 // slowest few per endpoint are always retained, the rest kept with
 // probability -tracesample. Retained traces are served at
 // GET /v1/traces and /v1/traces/{id} (behind -token like the rest of
-// the API) and linked from Prometheus latency buckets via OpenMetrics
-// exemplars. -accesslog adds one structured log line per retained
+// the API) and linked from latency buckets via OpenMetrics exemplars
+// on the negotiated /metrics?format=openmetrics exposition (the
+// classic 0.0.4 format stays exemplar-free, since its parser rejects
+// trailers). -accesslog adds one structured log line per retained
 // request.
 package main
 

@@ -1,11 +1,14 @@
 // Command promcheck validates Prometheus text exposition (version
-// 0.0.4) read from a file or stdin: HELP/TYPE grammar, label escaping,
-// duplicate series, and histogram coherence (cumulative buckets, +Inf
-// matching _count). It exists so CI can assert that a live /metrics
-// scrape is well-formed without depending on a Prometheus binary.
+// 0.0.4, or its OpenMetrics superset with exemplar trailers and a
+// # EOF terminator) read from a file or stdin: HELP/TYPE grammar,
+// label escaping, duplicate series, exemplar placement and syntax, and
+// histogram coherence (cumulative buckets, +Inf matching _count). It
+// exists so CI can assert that a live /metrics scrape is well-formed
+// without depending on a Prometheus binary.
 //
 //	crcserve -addr :8370 &
 //	curl -s 'http://127.0.0.1:8370/metrics?format=prometheus' | promcheck
+//	curl -s 'http://127.0.0.1:8370/metrics?format=openmetrics' | promcheck
 //	promcheck scrape.txt
 //
 // Exit status is 0 for a valid document, 1 with a diagnostic on stderr

@@ -27,6 +27,14 @@ func (c *Coordinator) startDebug(addr string) error {
 	mux := http.NewServeMux()
 	reg := c.debugRegistry()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		// Same negotiation as serve: the classic 0.0.4 exposition stays
+		// exemplar-free; an OpenMetrics scrape gets the terminated form.
+		if r.URL.Query().Get("format") == "openmetrics" ||
+			obs.AcceptsOpenMetrics(r.Header.Get("Accept")) {
+			w.Header().Set("Content-Type", obs.OpenMetricsContentType)
+			_ = reg.WriteOpenMetrics(w)
+			return
+		}
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_ = reg.WritePrometheus(w)
 	})

@@ -91,9 +91,16 @@ func TestJobTracePropagation(t *testing.T) {
 		for _, c := range td.Root.Children {
 			if c.Name == "worker.job" {
 				workerSpan++
+				prev := c.Start
 				for _, sc := range c.Children {
 					if strings.HasPrefix(sc.Name, "stage.") {
 						stageSpans++
+						// Stage spans start at accumulated offsets, never
+						// all stacked on the job start out of order.
+						if sc.Start.Before(prev) {
+							t.Errorf("stage span %s starts before its predecessor", sc.Name)
+						}
+						prev = sc.Start
 					}
 				}
 			}

@@ -270,15 +270,22 @@ func (w *Worker) runJob(ctx context.Context, wr *wire, m *message, alsoRenew []u
 		}
 		out.TraceID = m.TraceID
 		out.Spans = append(out.Spans, js)
+		// StageStats carries durations, not start times, so each stage
+		// span starts where the previous one's duration ends. For the
+		// sharded pipeline that is an approximation (stages overlap
+		// across shards), but it renders the stage order instead of
+		// stacking every stage at t=0.
+		offNS := int64(0)
 		for _, st := range res.Stages {
 			out.Spans = append(out.Spans, WireSpan{
 				ID: obs.NewSpanID(), Parent: js.ID, Name: "stage." + st.Name,
-				StartNS: started.UnixNano(), DurNS: st.Elapsed.Nanoseconds(),
+				StartNS: started.UnixNano() + offNS, DurNS: st.Elapsed.Nanoseconds(),
 				Attrs: []obs.Attr{
 					{K: "in", V: strconv.FormatUint(st.In, 10)},
 					{K: "out", V: strconv.FormatUint(st.Out, 10)},
 				},
 			})
+			offNS += st.Elapsed.Nanoseconds()
 		}
 	}
 	return out, nil

@@ -16,10 +16,15 @@
 // # Exposition
 //
 // Registry.WritePrometheus renders every registered metric in the
-// Prometheus text format (version 0.0.4): HELP/TYPE headers, escaped
-// label values, cumulative histogram buckets with a trailing +Inf.
-// CheckExposition (see check.go) is a pure-Go validator for that
-// format, used by tests and the CI smoke job.
+// classic Prometheus text format (version 0.0.4): HELP/TYPE headers,
+// escaped label values, cumulative histogram buckets with a trailing
+// +Inf — and no exemplars, which that format's parser rejects.
+// Registry.WriteOpenMetrics renders the same families as OpenMetrics
+// text: histogram buckets carry their exemplar trailers and the
+// document ends with the mandatory "# EOF" terminator; serve it only
+// under a negotiated application/openmetrics-text content type.
+// CheckExposition (see check.go) is a pure-Go validator for both
+// flavors, used by tests and the CI smoke job.
 package obs
 
 import (
@@ -341,25 +346,64 @@ func validName(s string) bool {
 	return true
 }
 
-// WritePrometheus renders every registered family in the Prometheus
-// text exposition format, in registration order, with label-sorted
-// series for deterministic output.
+// OpenMetricsContentType is the content type a negotiated OpenMetrics
+// exposition (WriteOpenMetrics) must be served under.
+const OpenMetricsContentType = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+
+// AcceptsOpenMetrics reports whether an Accept header asks for the
+// OpenMetrics text exposition. Prometheus servers configured for
+// exemplar scraping send application/openmetrics-text ahead of
+// text/plain; everything else falls back to the classic format.
+func AcceptsOpenMetrics(accept string) bool {
+	return strings.Contains(accept, "application/openmetrics-text")
+}
+
+// WritePrometheus renders every registered family in the classic
+// Prometheus text exposition format (version 0.0.4), in registration
+// order, with label-sorted series for deterministic output. The 0.0.4
+// parser errors on exemplar trailers — a single one fails the whole
+// scrape — so this output is exemplar-free; WriteOpenMetrics carries
+// them.
 func (r *Registry) WritePrometheus(w io.Writer) error {
+	return r.write(w, false)
+}
+
+// WriteOpenMetrics renders every registered family as the OpenMetrics
+// text exposition: counter families are declared under their base name
+// (the mandatory _total suffix stays on the sample lines), histogram
+// buckets carry their latest exemplar trailers, and the document ends
+// with the required "# EOF" terminator. Serve this only under
+// OpenMetricsContentType — the classic text-format parser rejects it.
+func (r *Registry) WriteOpenMetrics(w io.Writer) error {
+	if err := r.write(w, true); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, "# EOF\n")
+	return err
+}
+
+func (r *Registry) write(w io.Writer, om bool) error {
 	r.mu.Lock()
 	fams := append([]*family(nil), r.families...)
 	r.mu.Unlock()
 	for _, f := range fams {
-		if err := f.write(w); err != nil {
+		if err := f.write(w, om); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-func (f *family) write(w io.Writer) error {
+func (f *family) write(w io.Writer, om bool) error {
 	var b strings.Builder
 	typ := map[metricKind]string{kindCounter: "counter", kindGauge: "gauge", kindHistogram: "histogram"}[f.kind]
-	fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n", f.name, escapeHelp(f.help), f.name, typ)
+	header := f.name
+	if om && f.kind == kindCounter {
+		// OpenMetrics names the counter family without the _total suffix
+		// its samples carry.
+		header = strings.TrimSuffix(f.name, "_total")
+	}
+	fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n", header, escapeHelp(f.help), header, typ)
 	switch {
 	case f.counter != nil:
 		writeSample(&b, f.name, "", nil, nil, float64(f.counter.Value()))
@@ -368,10 +412,10 @@ func (f *family) write(w io.Writer) error {
 			writeSample(&b, f.name, "", f.labels, s.values, float64(s.v.(*Counter).Value()))
 		}
 	case f.histogram != nil:
-		writeHistogram(&b, f.name, f.labels, nil, f.histogram)
+		writeHistogram(&b, f.name, f.labels, nil, f.histogram, om)
 	case f.histVec != nil:
 		for _, s := range sortedSeries(&f.histVec.m) {
-			writeHistogram(&b, f.name, f.labels, s.values, s.v.(*Histogram))
+			writeHistogram(&b, f.name, f.labels, s.values, s.v.(*Histogram), om)
 		}
 	case f.gaugeFn != nil:
 		writeSample(&b, f.name, "", nil, nil, f.gaugeFn())
@@ -421,20 +465,22 @@ func sortedSeries(m *sync.Map) []series {
 	return out
 }
 
-func writeHistogram(b *strings.Builder, name string, labels, values []string, h *Histogram) {
+func writeHistogram(b *strings.Builder, name string, labels, values []string, h *Histogram, om bool) {
 	cum, count, sum := h.snapshot()
 	for i, bound := range h.bounds {
-		writeBucket(b, name, formatFloat(bound), labels, values, float64(cum[i]), h.exemplars[i].Load())
+		writeBucket(b, name, formatFloat(bound), labels, values, float64(cum[i]), h.exemplars[i].Load(), om)
 	}
-	writeBucket(b, name, "+Inf", labels, values, float64(count), h.exemplars[len(h.bounds)].Load())
+	writeBucket(b, name, "+Inf", labels, values, float64(count), h.exemplars[len(h.bounds)].Load(), om)
 	writeSample(b, name+"_sum", "", labels, values, sum)
 	writeSample(b, name+"_count", "", labels, values, float64(count))
 }
 
 // writeBucket emits one cumulative bucket line, with the bucket's latest
-// exemplar as an OpenMetrics trailer when one has been recorded.
-func writeBucket(b *strings.Builder, name, le string, labels, values []string, v float64, ex *exemplar) {
-	if ex == nil {
+// exemplar as an OpenMetrics trailer when one has been recorded — but
+// only in OpenMetrics mode: the 0.0.4 parser fails the entire scrape on
+// the '#' after the value.
+func writeBucket(b *strings.Builder, name, le string, labels, values []string, v float64, ex *exemplar, om bool) {
+	if ex == nil || !om {
 		writeSample(b, name+"_bucket", le, labels, values, v)
 		return
 	}

@@ -15,6 +15,16 @@ import (
 // slowest-K) and overwrites the first unpinned one, falling back to the
 // oldest pinned entry only when everything is pinned.
 //
+// Pinning is budgeted: at most half the ring can be pinned at once
+// (and error pins at most half of that), so a flood of errored or slow
+// traces (an incident, or a hostile client manufacturing errors) can
+// never wedge the ring into a state where eviction must overwrite
+// pinned entries — retention beyond the budget is best-effort, and slow
+// pinning survives an error flood. A warm-up trace additionally needs at least
+// slowFloorNS of duration to count as "slow" while its endpoint's set
+// is underfull, so the first few requests per endpoint are not pinned
+// merely for arriving first.
+//
 // All operations take one short mutex; Record is O(1) amortized (the
 // clock hand moves at most once around per insert), so recording stays
 // off the measurable part of the request path.
@@ -23,12 +33,15 @@ type FlightRecorder struct {
 	capacity   int
 	sampleRate float64
 	slowK      int
+	pinBudget  int // max entries pinned at once: capacity/2
 
 	entries []*recEntry          // ring slots, nil until filled
 	filled  int                  // occupied slots, so a full ring skips the empty-slot scan
 	hand    int                  // next eviction-scan position
 	byID    map[string]*recEntry // trace id -> live entry
 	slow    map[string][]*recEntry
+	pins    int // entries with pinnedErr or pinnedSlow set
+	errPins int // entries with pinnedErr set, capped at half the budget
 
 	seq      uint64 // insertion order stamp
 	rng      uint64 // splitmix64 state for the probabilistic sample
@@ -37,9 +50,12 @@ type FlightRecorder struct {
 	evicted  uint64
 }
 
-// recEntry is one ring slot. pinnedErr never clears; pinnedSlow clears
-// when a faster trace displaces this one from its endpoint's slowest-K
-// set, making the entry evictable again.
+// recEntry is one ring slot. pinnedErr never clears while the entry is
+// live (though a budget-exhausted recorder may never set it); pinnedSlow
+// clears when a faster trace displaces this one from its endpoint's
+// slowest-K set, making the entry evictable again. An entry can sit in
+// its endpoint's slow set with pinnedSlow false when the pin budget was
+// exhausted at insert time.
 type recEntry struct {
 	td         *TraceData
 	seq        uint64
@@ -50,6 +66,11 @@ type recEntry struct {
 
 // slowKDefault is how many slowest traces per endpoint stay pinned.
 const slowKDefault = 8
+
+// slowFloorNS is the minimum duration for a trace to enter an underfull
+// slowest-K set: sub-millisecond requests are never "slow" merely
+// because their endpoint's set has not filled yet.
+const slowFloorNS = int64(time.Millisecond)
 
 // NewFlightRecorder returns a recorder retaining at most capacity traces
 // (minimum 16 enforced so the slowest-K pins cannot starve the ring) and
@@ -69,6 +90,7 @@ func NewFlightRecorder(capacity int, sampleRate float64) *FlightRecorder {
 		capacity:   capacity,
 		sampleRate: sampleRate,
 		slowK:      slowKDefault,
+		pinBudget:  capacity / 2,
 		entries:    make([]*recEntry, capacity),
 		byID:       make(map[string]*recEntry, capacity),
 		slow:       make(map[string][]*recEntry),
@@ -99,9 +121,12 @@ func (r *FlightRecorder) Record(td *TraceData) (retained bool, reason string) {
 		return false, ""
 	}
 	td.Retained = reason
-	e := &recEntry{td: td, seq: r.seq, pinnedErr: isErr}
+	e := &recEntry{td: td, seq: r.seq}
 	r.seq++
 	r.insertLocked(e)
+	if isErr {
+		r.pinErrLocked(e)
+	}
 	if isSlow {
 		r.pinSlowLocked(e)
 	}
@@ -143,9 +168,12 @@ func (r *FlightRecorder) RecordTrace(tr *Trace) (retained bool, reason string) {
 	td.Retained = reason
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	e := &recEntry{td: td, seq: r.seq, pinnedErr: isErr}
+	e := &recEntry{td: td, seq: r.seq}
 	r.seq++
 	r.insertLocked(e)
+	if isErr {
+		r.pinErrLocked(e)
+	}
 	if isSlow {
 		r.pinSlowLocked(e)
 	}
@@ -154,30 +182,67 @@ func (r *FlightRecorder) RecordTrace(tr *Trace) (retained bool, reason string) {
 }
 
 // qualifiesSlowLocked reports whether a trace with this endpoint name
-// and duration would enter the endpoint's slowest-K set.
+// and duration would enter the endpoint's slowest-K set. An underfull
+// set only admits traces at least slowFloorNS long, so warm-up traffic
+// is not retained as "slow" regardless of how fast it was; a full set
+// admits only traces strictly slower than its fastest member (which,
+// by induction, already cleared the floor).
 func (r *FlightRecorder) qualifiesSlowLocked(name string, durNS int64) bool {
 	set := r.slow[name]
 	if len(set) < r.slowK {
-		return true
+		return durNS >= slowFloorNS
 	}
 	return durNS > set[0].td.DurationNS
 }
 
+// pinErrLocked pins an errored entry against eviction, if the pin
+// budget allows; past the budget the trace is still retained, just
+// evictable. Error pins take at most half the budget, so an error
+// flood (an incident, or a client manufacturing request errors) can
+// never starve slow-trace pinning.
+func (r *FlightRecorder) pinErrLocked(e *recEntry) {
+	if r.pins >= r.pinBudget || r.errPins >= r.pinBudget/2 {
+		return
+	}
+	e.pinnedErr = true
+	r.pins++
+	r.errPins++
+}
+
 // pinSlowLocked inserts e into its endpoint's slowest-K set (ascending
-// by duration), unpinning whatever it displaces.
+// by duration), unpinning whatever it displaces. The pin itself is
+// subject to the budget: past it the entry still orders the set (so
+// slow qualification keeps working) but stays evictable.
 func (r *FlightRecorder) pinSlowLocked(e *recEntry) {
 	name := e.td.Name
 	set := r.slow[name]
 	if len(set) >= r.slowK {
-		set[0].pinnedSlow = false
+		r.unpinSlowLocked(set[0])
 		set = set[1:]
 	}
 	i := sort.Search(len(set), func(i int) bool { return set[i].td.DurationNS > e.td.DurationNS })
 	set = append(set, nil)
 	copy(set[i+1:], set[i:])
 	set[i] = e
-	e.pinnedSlow = true
+	if e.pinnedErr || r.pins < r.pinBudget {
+		if !e.pinnedErr && !e.pinnedSlow {
+			r.pins++
+		}
+		e.pinnedSlow = true
+	}
 	r.slow[name] = set
+}
+
+// unpinSlowLocked clears an entry's slow pin, releasing its budget slot
+// unless an error pin still holds the entry.
+func (r *FlightRecorder) unpinSlowLocked(e *recEntry) {
+	if !e.pinnedSlow {
+		return
+	}
+	e.pinnedSlow = false
+	if !e.pinnedErr {
+		r.pins--
+	}
 }
 
 // insertLocked places e in the ring, evicting clock-style if full.
@@ -225,14 +290,20 @@ func (r *FlightRecorder) evictLocked(slot int) {
 		return
 	}
 	delete(r.byID, v.td.TraceID)
-	if v.pinnedSlow {
-		set := r.slow[v.td.Name]
-		for i, se := range set {
-			if se == v {
-				r.slow[v.td.Name] = append(set[:i:i], set[i+1:]...)
-				break
-			}
+	// Membership is checked regardless of the pin flag: a budget-
+	// exhausted insert leaves entries in the slow set unpinned.
+	set := r.slow[v.td.Name]
+	for i, se := range set {
+		if se == v {
+			r.slow[v.td.Name] = append(set[:i:i], set[i+1:]...)
+			break
 		}
+	}
+	if v.pinnedErr || v.pinnedSlow {
+		r.pins--
+	}
+	if v.pinnedErr {
+		r.errPins--
 	}
 	r.entries[slot] = nil
 	r.filled--

@@ -142,6 +142,46 @@ func TestRecorderErroredPinning(t *testing.T) {
 	}
 }
 
+// TestRecorderPinBudget floods a small recorder with errored traces
+// and proves pinning stays bounded: error pins stop at a quarter of the
+// ring, the overflow errors stay retained but evictable, and a slow
+// trace arriving after the flood can still pin — the ring never wedges
+// into an all-pinned state.
+func TestRecorderPinBudget(t *testing.T) {
+	r := NewFlightRecorder(16, 0) // pin budget 8, error share 4
+	first := make([]string, 0, 4)
+	for i := 0; i < 100; i++ {
+		td := makeTD("other", 100*time.Microsecond, "HTTP 500")
+		if kept, reason := r.Record(td); !kept || reason != "error" {
+			t.Fatalf("errored trace kept=%v reason=%q", kept, reason)
+		}
+		if len(first) < 4 {
+			first = append(first, td.TraceID)
+		}
+	}
+	// The error share's worth of pins survives the flood.
+	for i, id := range first {
+		if _, ok := r.Get(id); !ok {
+			t.Errorf("pinned error %d evicted within budget", i)
+		}
+	}
+	// A slow trace after the flood still qualifies, pins, and survives
+	// further error pressure.
+	slow := makeTD("/v1/evaluate", 50*time.Millisecond, "")
+	if kept, reason := r.Record(slow); !kept || reason != "slow" {
+		t.Fatalf("slow trace kept=%v reason=%q", kept, reason)
+	}
+	for i := 0; i < 50; i++ {
+		r.Record(makeTD("other", 100*time.Microsecond, "HTTP 500"))
+	}
+	if _, ok := r.Get(slow.TraceID); !ok {
+		t.Fatal("slow trace evicted by the error flood")
+	}
+	if st := r.Stats(); st.Live > 16 {
+		t.Fatalf("live %d exceeds capacity", st.Live)
+	}
+}
+
 // TestRecorderSlowestKInvariant records traces of known durations and
 // proves the K slowest per endpoint are always retrievable afterwards,
 // whatever order they arrived in.
@@ -166,10 +206,15 @@ func TestRecorderSlowestKInvariant(t *testing.T) {
 			t.Errorf("slowest-%d trace (%v) not retained", i+1, d)
 		}
 	}
-	// A second endpoint keeps its own slow set.
-	other := makeTD("/v1/maxlen", time.Microsecond, "")
+	// A second endpoint keeps its own slow set — but its underfull set
+	// only admits traces past the warm-up floor, so a microsecond
+	// request is not "slow" merely for arriving first.
+	if kept, _ := r.Record(makeTD("/v1/maxlen", time.Microsecond, "")); kept {
+		t.Fatal("sub-floor warm-up trace retained as slow")
+	}
+	other := makeTD("/v1/maxlen", 2*time.Millisecond, "")
 	if kept, reason := r.Record(other); !kept || reason != "slow" {
-		t.Fatalf("first trace of a fresh endpoint kept=%v reason=%q", kept, reason)
+		t.Fatalf("first above-floor trace of a fresh endpoint kept=%v reason=%q", kept, reason)
 	}
 	if got := r.Summaries(TraceFilter{Name: "/v1/maxlen"}); len(got) != 1 {
 		t.Fatalf("per-endpoint filter returned %d", len(got))
@@ -262,8 +307,9 @@ func TestNilRecorderInert(t *testing.T) {
 }
 
 // TestExemplarExposition proves ObserveExemplar renders an OpenMetrics
-// trailer the validator accepts and that the trailer lands on the bucket
-// the value belongs to.
+// trailer the validator accepts, that the trailer lands on the bucket
+// the value belongs to, and that the classic 0.0.4 exposition — whose
+// parser errors on exemplars — stays exemplar-free.
 func TestExemplarExposition(t *testing.T) {
 	r := NewRegistry()
 	h := r.NewHistogramVec("req_seconds", "latency", []float64{0.01, 0.1, 1}, "endpoint")
@@ -272,12 +318,15 @@ func TestExemplarExposition(t *testing.T) {
 	h.With("/v1/evaluate").ObserveExemplar(5, "feedface89abcdef")
 
 	var b strings.Builder
-	if err := r.WritePrometheus(&b); err != nil {
+	if err := r.WriteOpenMetrics(&b); err != nil {
 		t.Fatal(err)
 	}
 	out := b.String()
 	if err := CheckExposition(strings.NewReader(out)); err != nil {
 		t.Fatalf("exemplar exposition rejected: %v\n%s", err, out)
+	}
+	if !strings.HasSuffix(out, "# EOF\n") {
+		t.Errorf("OpenMetrics exposition lacks the # EOF terminator:\n%s", out)
 	}
 	wantMid := `req_seconds_bucket{endpoint="/v1/evaluate",le="0.1"} 2 # {trace_id="deadbeef01234567"} 0.05`
 	wantInf := `req_seconds_bucket{endpoint="/v1/evaluate",le="+Inf"} 3 # {trace_id="feedface89abcdef"} 5`
@@ -288,6 +337,43 @@ func TestExemplarExposition(t *testing.T) {
 	}
 	if strings.Contains(out, `le="0.01"} 1 #`) {
 		t.Errorf("exemplar leaked onto an unexemplared bucket:\n%s", out)
+	}
+
+	// The 0.0.4 exposition must not carry the trailers: a classic
+	// Prometheus scrape fails entirely on the '#' after a value.
+	b.Reset()
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), " # {") {
+		t.Errorf("exemplar trailer leaked into the 0.0.4 exposition:\n%s", b.String())
+	}
+	if err := CheckExposition(strings.NewReader(b.String())); err != nil {
+		t.Fatalf("0.0.4 exposition rejected: %v\n%s", err, b.String())
+	}
+}
+
+// TestOpenMetricsCounterFamily: OpenMetrics declares a counter family
+// under its base name while the samples keep the _total suffix.
+func TestOpenMetricsCounterFamily(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounterVec("req_total", "requests", "code").With("200").Inc()
+	var b strings.Builder
+	if err := r.WriteOpenMetrics(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"# TYPE req counter\n", `req_total{code="200"} 1`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	b.Reset()
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "# TYPE req_total counter\n") {
+		t.Errorf("0.0.4 exposition renamed the counter family:\n%s", b.String())
 	}
 }
 

@@ -27,9 +27,13 @@
 //	GET  /healthz        liveness (always unauthenticated)
 //	GET  /metrics        request/pool counters, expvar-style JSON;
 //	                     ?format=prometheus (or Accept: text/plain) selects
-//	                     the Prometheus text exposition: per-endpoint
-//	                     latency histograms, request outcomes, engine
-//	                     probe-phase histograms, flight/pool gauges
+//	                     the classic 0.0.4 text exposition (exemplar-free):
+//	                     per-endpoint latency histograms, request outcomes,
+//	                     engine probe-phase histograms, flight/pool gauges;
+//	                     ?format=openmetrics (or Accept:
+//	                     application/openmetrics-text) selects the
+//	                     OpenMetrics exposition with histogram exemplars
+//	                     and the # EOF terminator
 //
 // # Observability
 //
@@ -64,12 +68,18 @@
 // probability Config.TraceSampleRate. A request that exceeds its
 // evaluation budget therefore always leaves its full span tree behind.
 // Config.TraceBuffer sizes the ring (negative disables tracing; the
-// trace endpoints then 404). The Prometheus latency histograms attach
-// OpenMetrics exemplars — each bucket carries the most recent retained
-// trace ID observed in it — so a dashboard spike resolves to a span
-// tree in two steps. Config.AccessLog additionally emits one
-// structured log line per request, sampled by the same tail decision
-// so log volume tracks trace volume.
+// trace endpoints then 404). Retention resists abuse: unauthenticated
+// 401s and unknown-path 404s are never marked errored (probes cannot
+// fill the recorder), pinning is capped at half the ring with error
+// pins at half of that, and a warm-up trace must exceed a 1 ms floor
+// before an underfull slowest-K set keeps it. The latency histograms
+// attach OpenMetrics exemplars — each bucket carries the most recent
+// retained trace ID observed in it — so a dashboard spike resolves to
+// a span tree in two steps; exemplars render only on the negotiated
+// OpenMetrics exposition, since the classic 0.0.4 parser rejects them.
+// Config.AccessLog additionally emits one structured log line per
+// request, sampled by the same tail decision so log volume tracks
+// trace volume.
 //
 // The crcserve binary adds -pprof (net/http/pprof on a separate,
 // default-loopback listener, never this mux) and -remeasure (periodic

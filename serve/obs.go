@@ -174,9 +174,16 @@ func (s *Server) observe(r *http.Request, status int, rid string, elapsed time.D
 	if tr != nil {
 		traceID = tr.ID()
 		root := tr.Root()
-		if status >= 400 {
+		if status >= 500 {
 			// writeError marks spans with the real message; this is the
-			// fallback for error paths that bypass it (auth, 404s).
+			// fallback for server-error paths that bypass it. Client
+			// errors are deliberately excluded: an errored trace is
+			// always retained and pinned, and unauthenticated 401/404
+			// probes (scanners walking random paths) must not be able to
+			// fill the flight recorder with unevictable traces or make
+			// the access log attacker-controlled. Real request errors on
+			// known endpoints (bad poly, budget exceeded) still pin via
+			// writeError's explicit SetError.
 			root.SetError("HTTP " + statusLabel(status))
 		}
 		root.SetAttr("status", statusLabel(status))

@@ -289,7 +289,13 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			sw.Header().Set("WWW-Authenticate", `Bearer realm="crcserve"`)
 			// Fixed counter key: keying by request path would let
 			// unauthenticated scanners grow the errors map unboundedly.
-			s.writeError(sw, r, "auth", http.StatusUnauthorized, errors.New("missing or invalid bearer token"))
+			// Deliberately not writeError: that would mark the root span
+			// errored, and errored traces are always retained and pinned —
+			// unauthenticated probes must not be able to fill the flight
+			// recorder (or, with AccessLog, drive log volume).
+			s.metrics.errors.Add("auth", 1)
+			writeJSON(sw, http.StatusUnauthorized,
+				ErrorResponse{Error: "missing or invalid bearer token", RequestID: rid})
 			return
 		}
 	}
@@ -830,6 +836,19 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
+// wantsOpenMetrics decides whether the scrape negotiated the
+// OpenMetrics exposition — the only mode that carries exemplar
+// trailers, which the classic 0.0.4 parser rejects. An explicit
+// ?format=openmetrics wins; otherwise the Accept header must name
+// application/openmetrics-text (what Prometheus sends when configured
+// to scrape exemplars).
+func wantsOpenMetrics(r *http.Request) bool {
+	if r.URL.Query().Get("format") == "openmetrics" {
+		return true
+	}
+	return r.URL.Query().Get("format") == "" && obs.AcceptsOpenMetrics(r.Header.Get("Accept"))
+}
+
 // wantsPrometheus decides the /metrics format: an explicit ?format=
 // parameter wins, otherwise an Accept header preferring text/plain over
 // JSON selects the Prometheus text exposition. The default stays the
@@ -848,8 +867,18 @@ func wantsPrometheus(r *http.Request) bool {
 // handleMetrics renders the expvar counters and the session pool's
 // per-session memo costs as one JSON document — or, with
 // ?format=prometheus (or an Accept header preferring text/plain), the
-// obs registry in Prometheus text exposition format.
+// obs registry in exemplar-free Prometheus 0.0.4 text exposition, or,
+// with ?format=openmetrics (or Accept: application/openmetrics-text),
+// the OpenMetrics exposition carrying the histogram exemplars and the
+// "# EOF" terminator.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if wantsOpenMetrics(r) {
+		w.Header().Set("Content-Type", obs.OpenMetricsContentType)
+		if err := s.obs.registry.WriteOpenMetrics(w); err != nil {
+			s.logger.Debug("metrics exposition write failed", slog.String("error", err.Error()))
+		}
+		return
+	}
 	if wantsPrometheus(r) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		if err := s.obs.registry.WritePrometheus(w); err != nil {

@@ -134,18 +134,78 @@ func TestTraceEndToEnd(t *testing.T) {
 		t.Fatalf("trace %s not in filtered listing (%d entries)", id, list.Count)
 	}
 
-	// The latency histogram carries a resolvable exemplar.
+	// The negotiated OpenMetrics exposition carries a resolvable
+	// exemplar and the mandatory terminator.
+	om, err := http.Get(ts.URL + "/metrics?format=openmetrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer om.Body.Close()
+	if ct := om.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/openmetrics-text") {
+		t.Errorf("OpenMetrics content type: %q", ct)
+	}
+	text, _ := io.ReadAll(om.Body)
+	if !strings.Contains(string(text), `# {trace_id="`) {
+		t.Error("no exemplar in the OpenMetrics exposition")
+	}
+	if !strings.HasSuffix(string(text), "# EOF\n") {
+		t.Error("OpenMetrics exposition lacks the # EOF terminator")
+	}
+	if err := obs.CheckExposition(bytes.NewReader(text)); err != nil {
+		t.Errorf("exposition with exemplars fails validation: %v", err)
+	}
+
+	// The classic 0.0.4 exposition must stay exemplar-free: its parser
+	// errors on the trailer and a real Prometheus would lose the whole
+	// scrape.
 	prom, err := http.Get(ts.URL + "/metrics?format=prometheus")
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer prom.Body.Close()
-	text, _ := io.ReadAll(prom.Body)
-	if !strings.Contains(string(text), `# {trace_id="`) {
-		t.Error("no exemplar in the Prometheus exposition")
+	text, _ = io.ReadAll(prom.Body)
+	if strings.Contains(string(text), " # {") {
+		t.Error("exemplar trailer leaked into the 0.0.4 exposition")
 	}
 	if err := obs.CheckExposition(bytes.NewReader(text)); err != nil {
-		t.Errorf("exposition with exemplars fails validation: %v", err)
+		t.Errorf("0.0.4 exposition fails validation: %v", err)
+	}
+}
+
+// TestScannerProbesNotRetained is the flight-recorder abuse regression:
+// unauthenticated 401s and unknown-path 404s must not produce errored
+// (always-retained, pinned) traces, or scanners walking random paths
+// would fill the ring and displace every legitimate trace.
+func TestScannerProbesNotRetained(t *testing.T) {
+	_, ts := startServer(t, Config{Token: "sesame", TraceSampleRate: -1})
+
+	for i := 0; i < 40; i++ {
+		r, err := http.Get(ts.URL + "/some/random/path")
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, r.Body)
+		r.Body.Close()
+		if r.StatusCode != http.StatusUnauthorized && r.StatusCode != http.StatusNotFound {
+			t.Fatalf("probe status %d", r.StatusCode)
+		}
+	}
+
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/v1/traces", nil)
+	req.Header.Set("Authorization", "Bearer sesame")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var list TracesResponse
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range list.Traces {
+		if s.Error != "" {
+			t.Errorf("probe retained as errored trace: %+v", s)
+		}
 	}
 }
 
